@@ -1,0 +1,113 @@
+// Command damaris-bench regenerates the paper's evaluation: every
+// quantitative claim of §IV and §V.C is one experiment (see DESIGN.md),
+// and each run prints the corresponding table plus shape checks against
+// the published numbers.
+//
+// Usage:
+//
+//	damaris-bench                 # run everything at paper scale
+//	damaris-bench -exp e1,e3      # select experiments
+//	damaris-bench -quick          # small machine, fast smoke run
+//	damaris-bench -iters 8        # more output phases per run
+//	damaris-bench -csv out/       # also write each table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expList  = flag.String("exp", "all", "comma-separated experiment ids (e1..e8,a1,a2) or 'all'")
+		quick    = flag.Bool("quick", false, "reduced scale for a fast smoke run")
+		seed     = flag.Uint64("seed", 2013, "root seed for all stochastic inputs")
+		iters    = flag.Int("iters", 0, "output phases per run (0 = default)")
+		platform = flag.String("platform", "kraken", "platform preset: kraken, grid5000, power5")
+		csvDir   = flag.String("csv", "", "directory to write per-table CSV files")
+	)
+	flag.Parse()
+
+	opts := experiments.Default()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	opts.Seed = *seed
+	opts.Platform = *platform
+	if *iters > 0 {
+		opts.Iterations = *iters
+	}
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*expList, ",") {
+		selected[strings.ToLower(strings.TrimSpace(id))] = true
+	}
+	all := selected["all"]
+
+	type runner struct {
+		id  string
+		run func(experiments.Options) (experiments.Report, error)
+	}
+	runners := []runner{
+		{"e1", func(o experiments.Options) (experiments.Report, error) {
+			r, err := experiments.RunE1(o)
+			return r.Report, err
+		}},
+		{"e2", experiments.RunE2},
+		{"e3", experiments.RunE3},
+		{"e4", experiments.RunE4},
+		{"e5", experiments.RunE5},
+		{"e6", experiments.RunE6},
+		{"e7", experiments.RunE7},
+		{"e8", experiments.RunE8},
+		{"a1", experiments.RunA1},
+		{"a2", experiments.RunA2},
+	}
+
+	failures := 0
+	for _, r := range runners {
+		if !all && !selected[r.id] {
+			continue
+		}
+		start := time.Now()
+		rep, err := r.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+			failures++
+			continue
+		}
+		fmt.Println(rep.String())
+		fmt.Printf("(%s completed in %.1fs wall time)\n\n", rep.ID, time.Since(start).Seconds())
+		if !rep.AllPass() {
+			failures++
+		}
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("%d experiment(s) with checks outside the paper band\n", failures)
+		os.Exit(1)
+	}
+}
+
+func writeCSVs(dir string, rep experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range rep.Tables {
+		name := fmt.Sprintf("%s_table%d.csv", strings.ToLower(rep.ID), i+1)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

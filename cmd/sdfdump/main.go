@@ -1,0 +1,67 @@
+// Command sdfdump inspects SDF files (the repository's HDF5-substitute
+// format): it lists groups, datasets, attributes and compression info,
+// and optionally prints dataset statistics.
+//
+// Usage:
+//
+//	sdfdump file.sdf             # structure listing
+//	sdfdump -stats file.sdf      # plus min/max/mean per float64 dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/insitu"
+	"repro/internal/sdf"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print min/max/mean for float64 datasets")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: sdfdump [-stats] file.sdf ...")
+	}
+	for _, path := range flag.Args() {
+		if err := dump(path, *stats); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+	}
+}
+
+func dump(path string, withStats bool) error {
+	r, err := sdf.Open(path)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	fmt.Printf("%s\n", path)
+	if groups := r.Groups(); len(groups) > 0 {
+		fmt.Printf("  groups: %s\n", strings.Join(groups, ", "))
+	}
+	var raw, enc int64
+	for _, d := range r.Datasets() {
+		raw += d.RawSize
+		enc += d.EncSize
+		fmt.Printf("  %-40s %-8s dims=%v codec=%-7s %8d -> %8d bytes\n",
+			d.Path, d.Type, d.Dims, d.Codec, d.RawSize, d.EncSize)
+		if withStats && d.Type == "float64" {
+			vals, err := r.ReadFloat64s(d.Path)
+			if err != nil {
+				return err
+			}
+			f := insitu.Field{Name: d.Path, NZ: 1, NY: 1, NX: len(vals), Data: vals}
+			m := insitu.ComputeMoments(f)
+			fmt.Printf("  %40s min=%.4g max=%.4g mean=%.4g std=%.4g\n",
+				"", m.Min, m.Max, m.Mean, m.Std)
+		}
+	}
+	if enc > 0 {
+		fmt.Printf("  total: %d datasets, %d -> %d bytes (%.2fx)\n",
+			len(r.Datasets()), raw, enc, float64(raw)/float64(enc))
+	}
+	return nil
+}

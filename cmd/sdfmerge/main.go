@@ -1,0 +1,35 @@
+// Command sdfmerge combines several SDF files (e.g. the per-rank files
+// of a file-per-process run) into a single aggregated file — the
+// post-processing step the paper's §II describes as the major issue with
+// per-process output.
+//
+// Usage:
+//
+//	sdfmerge -o merged.sdf [-codec gorilla] rank0.sdf rank1.sdf ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/sdf"
+)
+
+func main() {
+	out := flag.String("o", "merged.sdf", "output file")
+	codec := flag.String("codec", "none", "re-encoding codec: none, gorilla, flate, rle")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: sdfmerge -o out.sdf file.sdf ...")
+	}
+	if err := sdf.Merge(*out, *codec, flag.Args()...); err != nil {
+		log.Fatal(err)
+	}
+	r, err := sdf.Open(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	fmt.Printf("merged %d files into %s (%d datasets)\n", flag.NArg(), *out, len(r.Datasets()))
+}

@@ -1,0 +1,104 @@
+// Package damaris is the public API of this reproduction of "Efficient
+// I/O using Dedicated Cores in Large-Scale HPC Simulations" (Dorier,
+// IPDPS PhD Forum 2013) — a Go implementation of the Damaris middleware:
+// dedicate one or a few cores per multicore node to asynchronous I/O and
+// data management, and hand data from the simulation cores to them
+// through node-local shared memory.
+//
+// A minimal integration is a handful of lines (the §V.C.2 usability
+// claim):
+//
+//	node, _ := damaris.NewNodeFromXML(configXML, cores, damaris.Options{})
+//	client := node.Client(coreID)
+//	for it := 0; it < steps; it++ {
+//		compute()
+//		client.Write("theta", it, thetaBytes) // ≈0.1 s, never blocks on the PFS
+//		client.EndIteration(it)
+//	}
+//	node.Shutdown()
+//
+// Everything else — what the variables look like, which plugins run on
+// the dedicated core (aggregated SDF output, compression, statistics,
+// in-situ visualization) — lives in the external XML description, as in
+// the original middleware. See examples/ for complete programs and
+// internal/experiments for the paper's evaluation.
+package damaris
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/meta"
+
+	// Importing the built-in plugins registers them (sdf-writer, stats,
+	// visualize) so XML configurations can name them.
+	_ "repro/internal/plugins"
+)
+
+// Re-exported middleware types; see the internal/core and internal/meta
+// documentation for details.
+type (
+	// Node is one SMP node's Damaris instance: shared-memory segment,
+	// event queue, block index and the dedicated-core server.
+	Node = core.Node
+	// Client is the per-simulation-core handle (Write, Alloc, Signal,
+	// EndIteration).
+	Client = core.Client
+	// Options tunes NewNode beyond the XML configuration.
+	Options = core.Options
+	// Plugin is a user-provided action run on the dedicated core.
+	Plugin = core.Plugin
+	// PluginFunc adapts a function to the Plugin interface.
+	PluginFunc = core.PluginFunc
+	// PluginContext is what a plugin sees of the node.
+	PluginContext = core.PluginContext
+	// Event is one message on the node's queue.
+	Event = core.Event
+	// Config is the parsed XML data description.
+	Config = meta.Config
+	// BlockKey identifies one block (variable, source, iteration).
+	BlockKey = meta.BlockKey
+)
+
+// ErrSkipped reports that data was dropped because the shared-memory
+// segment was full — the paper's §V.C policy of losing data rather than
+// blocking the simulation.
+var ErrSkipped = core.ErrSkipped
+
+// RegisterPlugin adds a plugin factory under a name usable from XML
+// <plugin> elements.
+func RegisterPlugin(name string, factory func(cfg map[string]string) (Plugin, error)) {
+	core.RegisterPlugin(name, factory)
+}
+
+// ParseConfig reads a Damaris XML configuration.
+func ParseConfig(r io.Reader) (*Config, error) { return meta.Parse(r) }
+
+// ParseConfigString parses an XML configuration held in a string.
+func ParseConfigString(s string) (*Config, error) { return meta.ParseString(s) }
+
+// LoadConfig reads and parses an XML configuration file.
+func LoadConfig(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return meta.Parse(f)
+}
+
+// NewNode starts a node runtime for the given parsed configuration and
+// number of simulation cores.
+func NewNode(cfg *Config, clients int, opts Options) (*Node, error) {
+	return core.NewNode(cfg, clients, opts)
+}
+
+// NewNodeFromXML parses the XML configuration and starts a node runtime.
+func NewNodeFromXML(xml string, clients int, opts Options) (*Node, error) {
+	cfg, err := meta.ParseString(xml)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewNode(cfg, clients, opts)
+}

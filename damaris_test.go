@@ -1,0 +1,111 @@
+package damaris
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/sdf"
+)
+
+// TestPublicAPIEndToEnd exercises the documented five-line integration:
+// XML config, node, clients, writes, shutdown — with the XML-configured
+// sdf-writer producing a readable aggregated file.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	xml := `<simulation name="facade">
+	  <architecture><dedicated cores="1"/><buffer size="8388608"/></architecture>
+	  <data>
+	    <parameter name="n" value="8"/>
+	    <layout name="cube" type="float64" dimensions="n,n,n"/>
+	    <variable name="theta" layout="cube" unit="K"/>
+	  </data>
+	  <plugins>
+	    <plugin name="sdf-writer" event="end_iteration" dir="` + dir + `" codec="gorilla"/>
+	  </plugins>
+	</simulation>`
+	node, err := NewNodeFromXML(xml, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float64, 512)
+	for i := range data {
+		data[i] = 300
+	}
+	for it := 0; it < 2; it++ {
+		for src := 0; src < 2; src++ {
+			if err := node.Client(src).Write("theta", it, compress.Float64Bytes(data)); err != nil {
+				t.Fatal(err)
+			}
+			node.Client(src).EndIteration(it)
+		}
+	}
+	node.WaitIteration(1)
+	if err := node.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.sdf"))
+	if len(files) != 2 {
+		t.Fatalf("wrote %d files, want 2", len(files))
+	}
+	r, err := sdf.Open(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if len(r.Datasets()) != 2 {
+		t.Fatalf("aggregated %d datasets, want 2", len(r.Datasets()))
+	}
+}
+
+func TestParseConfigHelpers(t *testing.T) {
+	xml := `<simulation name="x"><data>
+	  <layout name="l" type="float32" dimensions="4"/>
+	  <variable name="v" layout="l"/>
+	</data></simulation>`
+	cfg, err := ParseConfigString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "x" {
+		t.Fatalf("name = %q", cfg.Name)
+	}
+	cfg2, err := ParseConfig(strings.NewReader(xml))
+	if err != nil || cfg2.Name != "x" {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if _, err := LoadConfig(filepath.Join(t.TempDir(), "missing.xml")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRegisterPluginFromFacade(t *testing.T) {
+	called := false
+	RegisterPlugin("facade-probe", func(cfg map[string]string) (Plugin, error) {
+		return PluginFunc{PluginName: "facade-probe", Fn: func(*PluginContext, Event) error {
+			called = true
+			return nil
+		}}, nil
+	})
+	xml := `<simulation name="t"><data>
+	  <layout name="l" type="float64" dimensions="4"/>
+	  <variable name="v" layout="l"/>
+	</data>
+	<plugins><plugin name="facade-probe" event="end_iteration"/></plugins>
+	</simulation>`
+	node, err := NewNodeFromXML(xml, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := node.Client(0)
+	if err := c.Write("v", 0, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	c.EndIteration(0)
+	node.WaitIteration(0)
+	node.Shutdown()
+	if !called {
+		t.Fatal("registered plugin never ran")
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"time"
+
+	"repro/internal/nek"
+)
+
+// runBaseline advances the cavity with no visualization at all: the
+// reference step time both couplings are compared against.
+func runBaseline(steps, gridN int) []time.Duration {
+	params := nek.DefaultParams()
+	params.N = gridN
+	solver, err := nek.New(params)
+	if err != nil {
+		return nil
+	}
+	times := make([]time.Duration, 0, steps)
+	for step := 0; step < steps; step++ {
+		t0 := time.Now()
+		solver.Step()
+		times = append(times, time.Since(t0))
+	}
+	return times
+}

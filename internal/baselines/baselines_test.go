@@ -1,0 +1,136 @@
+package baselines
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/insitu"
+	"repro/internal/mpi"
+	"repro/internal/sdf"
+)
+
+func testField(name string, seed float64) insitu.Field {
+	f := insitu.NewField(name, 2, 3, 4)
+	for i := range f.Data {
+		f.Data[i] = seed + float64(i)
+	}
+	return f
+}
+
+func TestWriteFPPSerial(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteFPP(nil, dir, "sim", 3, []insitu.Field{testField("u", 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sdf.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	vals, err := r.ReadFloat64s("u/src0000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 24 || vals[0] != 10 {
+		t.Fatalf("read back %d values, first %v", len(vals), vals[0])
+	}
+	if it, _ := r.AttrInt("", "iteration"); it != 3 {
+		t.Fatalf("iteration attr = %d", it)
+	}
+}
+
+func TestWriteFPPOneFilePerRank(t *testing.T) {
+	dir := t.TempDir()
+	mpi.Run(4, func(c *mpi.Comm) {
+		if _, err := WriteFPP(c, dir, "sim", 0, []insitu.Field{testField("u", float64(c.Rank()))}); err != nil {
+			t.Error(err)
+		}
+	})
+	files, _ := filepath.Glob(filepath.Join(dir, "*.sdf"))
+	if len(files) != 4 {
+		t.Fatalf("FPP produced %d files, want 4", len(files))
+	}
+}
+
+func TestWriteCollectiveSharedFile(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	paths := map[string]bool{}
+	mpi.Run(8, func(c *mpi.Comm) {
+		fields := []insitu.Field{
+			testField("u", float64(100*c.Rank())),
+			testField("p", float64(1000*c.Rank())),
+		}
+		path, err := WriteCollective(c, 4, dir, "cavity", 7, fields)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		paths[path] = true
+		mu.Unlock()
+	})
+	if len(paths) != 1 {
+		t.Fatalf("collective produced %d distinct paths", len(paths))
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.sdf"))
+	if len(files) != 1 {
+		t.Fatalf("collective produced %d files, want 1 shared file", len(files))
+	}
+	r, err := sdf.Open(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// 8 ranks × 2 variables = 16 datasets.
+	if got := len(r.Datasets()); got != 16 {
+		t.Fatalf("shared file has %d datasets, want 16", got)
+	}
+	// Every rank's data must be present and correct.
+	for rank := 0; rank < 8; rank++ {
+		vals, err := r.ReadFloat64s(filepath.Join("u", "src000"+string(rune('0'+rank))))
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		if vals[0] != float64(100*rank) {
+			t.Fatalf("rank %d data = %v", rank, vals[0])
+		}
+	}
+}
+
+func TestWriteCollectiveValidation(t *testing.T) {
+	if _, err := WriteCollective(nil, 4, t.TempDir(), "x", 0, nil); err == nil {
+		t.Fatal("nil comm accepted")
+	}
+	mpi.Run(6, func(c *mpi.Comm) {
+		if _, err := WriteCollective(c, 4, t.TempDir(), "x", 0, nil); err == nil {
+			t.Error("non-divisible node size accepted")
+		}
+	})
+}
+
+func TestEncodeDecodeFields(t *testing.T) {
+	fields := []insitu.Field{testField("alpha", 1), testField("beta", 2)}
+	rank, decoded, err := decodeFields(encodeFields(42, fields))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 42 || len(decoded) != 2 {
+		t.Fatalf("rank=%d fields=%d", rank, len(decoded))
+	}
+	for i, f := range decoded {
+		if f.Name != fields[i].Name || f.Len() != fields[i].Len() {
+			t.Fatalf("field %d = %+v", i, f)
+		}
+		for j := range f.Data {
+			if f.Data[j] != fields[i].Data[j] {
+				t.Fatalf("field %d data mismatch at %d", i, j)
+			}
+		}
+	}
+	if _, _, err := decodeFields([]byte{1, 2}); err == nil {
+		t.Fatal("corrupt payload accepted")
+	}
+}

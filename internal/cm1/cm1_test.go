@@ -1,0 +1,225 @@
+package cm1
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams()
+	bad.DT = 2 // CFL violation at U=1, DX=1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unstable params accepted")
+	}
+	tiny := DefaultParams()
+	tiny.NX = 1
+	if err := tiny.Validate(); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+}
+
+func TestInitialBubble(t *testing.T) {
+	m, err := New(DefaultParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := m.Theta()
+	max, min := th.Data[0], th.Data[0]
+	for _, v := range th.Data {
+		if v > max {
+			max = v
+		}
+		if v < min {
+			min = v
+		}
+	}
+	if min < 299.999 || min > 300.001 {
+		t.Fatalf("background theta = %v", min)
+	}
+	if max < 301 || max > 302.001 {
+		t.Fatalf("bubble peak = %v, want ≈ 302", max)
+	}
+}
+
+func TestMassConservationSerial(t *testing.T) {
+	m, _ := New(DefaultParams(), nil)
+	before := m.GlobalMass()
+	for s := 0; s < 50; s++ {
+		m.Step()
+	}
+	after := m.GlobalMass()
+	if rel := math.Abs(after-before) / before; rel > 1e-12 {
+		t.Fatalf("theta mass drifted by %v", rel)
+	}
+	if m.Iteration() != 50 {
+		t.Fatalf("iteration = %d", m.Iteration())
+	}
+}
+
+func TestMassConservationParallel(t *testing.T) {
+	mpi.Run(4, func(c *mpi.Comm) {
+		m, err := New(DefaultParams(), c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		before := m.GlobalMass()
+		for s := 0; s < 20; s++ {
+			m.Step()
+		}
+		after := m.GlobalMass()
+		if rel := math.Abs(after-before) / before; rel > 1e-12 {
+			t.Errorf("rank %d: mass drift %v", c.Rank(), rel)
+		}
+	})
+}
+
+func TestSerialParallelEquivalence(t *testing.T) {
+	// The same global domain computed serially and on 4 ranks must agree
+	// bitwise: halo exchange must be exactly transparent.
+	const ranks = 4
+	p := DefaultParams()
+	serialParams := p
+	serialParams.NX = p.NX * ranks
+	serial, _ := New(serialParams, nil)
+	for s := 0; s < 10; s++ {
+		serial.Step()
+	}
+
+	gathered := make([][]float64, ranks)
+	mpi.Run(ranks, func(c *mpi.Comm) {
+		m, _ := New(p, c)
+		for s := 0; s < 10; s++ {
+			m.Step()
+		}
+		// Send local theta to rank 0.
+		parts := c.Gather(0, float64sToBytes(m.Theta().Data))
+		if c.Rank() == 0 {
+			for r := 0; r < ranks; r++ {
+				gathered[r] = bytesToFloat64s(parts[r])
+			}
+		}
+	})
+
+	for r := 0; r < ranks; r++ {
+		local := gathered[r]
+		for k := 0; k < p.NZ; k++ {
+			for j := 0; j < p.NY; j++ {
+				for i := 0; i < p.NX; i++ {
+					want := serial.Theta().At(k, j, i+r*p.NX)
+					got := local[(k*p.NY+j)*p.NX+i]
+					if want != got {
+						t.Fatalf("rank %d cell (%d,%d,%d): serial %v parallel %v",
+							r, k, j, i, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		m, _ := New(DefaultParams(), nil)
+		for s := 0; s < 25; s++ {
+			m.Step()
+		}
+		return m.Checksum()
+	}
+	if run() != run() {
+		t.Fatal("serial run not deterministic")
+	}
+}
+
+func TestBubbleAdvectsDownwind(t *testing.T) {
+	p := DefaultParams()
+	p.Nu = 0 // pure advection keeps the bubble tight
+	m, _ := New(p, nil)
+	peakX := func() int {
+		best, bi := -1.0, 0
+		th := m.Theta()
+		k, j := p.NZ/3, p.NY/2
+		for i := 0; i < p.NX; i++ {
+			if v := th.At(k, j, i); v > best {
+				best, bi = v, i
+			}
+		}
+		return bi
+	}
+	x0 := peakX()
+	for s := 0; s < 20; s++ { // 20 steps × U·DT/DX = 4 cells
+		m.Step()
+	}
+	x1 := peakX()
+	moved := (x1 - x0 + p.NX) % p.NX
+	if moved < 2 || moved > 6 {
+		t.Fatalf("bubble moved %d cells downwind, want ≈ 4", moved)
+	}
+}
+
+func TestBuoyancyLiftsBubble(t *testing.T) {
+	m, _ := New(DefaultParams(), nil)
+	for s := 0; s < 10; s++ {
+		m.Step()
+	}
+	// w must be positive where the bubble is and ≈0 far away.
+	p := m.P
+	wAtBubble := m.w.At(p.NZ/3, p.NY/2, p.NX/2)
+	wFar := m.w.At(p.NZ-1, 0, 0)
+	if wAtBubble <= 0 {
+		t.Fatalf("no updraft at bubble: w = %v", wAtBubble)
+	}
+	if math.Abs(wFar) > wAtBubble/10 {
+		t.Fatalf("spurious vertical motion far from bubble: %v vs %v", wFar, wAtBubble)
+	}
+}
+
+func TestFieldsStableOrder(t *testing.T) {
+	m, _ := New(DefaultParams(), nil)
+	fs := m.Fields()
+	if len(fs) != 3 || fs[0].Name != "theta" || fs[1].Name != "qv" || fs[2].Name != "w" {
+		t.Fatalf("fields = %v", fs)
+	}
+	for _, f := range fs {
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	p := DefaultParams()
+	p.NX, p.NY, p.NZ = 32, 32, 24
+	m, _ := New(p, nil)
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+func float64sToBytes(xs []float64) []byte {
+	out := make([]byte, len(xs)*8)
+	for i, x := range xs {
+		u := math.Float64bits(x)
+		for b := 0; b < 8; b++ {
+			out[i*8+b] = byte(u >> (8 * b))
+		}
+	}
+	return out
+}
+
+func bytesToFloat64s(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		var u uint64
+		for k := 0; k < 8; k++ {
+			u |= uint64(b[i*8+k]) << (8 * k)
+		}
+		out[i] = math.Float64frombits(u)
+	}
+	return out
+}

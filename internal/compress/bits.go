@@ -1,0 +1,77 @@
+// Package compress implements the lossless codecs used by the data-
+// management plugins (§IV.D: "we used this spare time to add data
+// compression in files, and achieved a 600% compression ratio without any
+// overhead on the simulation").
+//
+// Codecs:
+//
+//   - Gorilla: XOR-based float compression (Pelkonen et al., VLDB 2015
+//     style) specialized for smooth scientific fields, for float64 and
+//     float32 elements;
+//   - Delta: zig-zag delta + varint for integer data;
+//   - RLE: byte run-length encoding for masks and mostly-constant data;
+//   - Flate: the stdlib DEFLATE as a general-purpose baseline.
+//
+// All codecs operate on raw []byte with a known element type, so the SDF
+// writer can apply them per dataset.
+package compress
+
+// bitWriter packs bits most-significant-first into a byte slice.
+type bitWriter struct {
+	buf  []byte
+	cur  byte
+	nCur uint // bits used in cur
+}
+
+func (w *bitWriter) writeBit(b uint64) {
+	w.cur = w.cur<<1 | byte(b&1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// writeBits writes the low n bits of v, most significant first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.writeBit(v >> uint(i))
+	}
+}
+
+// finish flushes the partial byte (zero-padded) and returns the buffer.
+func (w *bitWriter) finish() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, w.cur<<(8-w.nCur))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// bitReader reads bits most-significant-first from a byte slice.
+type bitReader struct {
+	buf []byte
+	pos uint // bit position
+}
+
+func (r *bitReader) readBit() (uint64, bool) {
+	byteIdx := r.pos >> 3
+	if int(byteIdx) >= len(r.buf) {
+		return 0, false
+	}
+	bit := uint64(r.buf[byteIdx]>>(7-r.pos&7)) & 1
+	r.pos++
+	return bit, true
+}
+
+func (r *bitReader) readBits(n uint) (uint64, bool) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, ok := r.readBit()
+		if !ok {
+			return 0, false
+		}
+		v = v<<1 | b
+	}
+	return v, true
+}

@@ -1,0 +1,336 @@
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+)
+
+// Codec is a lossless byte-level compressor. elemSize tells codecs that
+// exploit element structure (Gorilla) how to segment src; byte-oriented
+// codecs ignore it.
+type Codec interface {
+	// Name is the registry key stored in SDF dataset headers.
+	Name() string
+	// Encode compresses src (len(src) must be a multiple of elemSize for
+	// element-structured codecs).
+	Encode(src []byte, elemSize int) ([]byte, error)
+	// Decode decompresses enc; dstSize is the expected decoded length.
+	Decode(enc []byte, dstSize, elemSize int) ([]byte, error)
+}
+
+// ByName returns the registered codec with the given name.
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "none", "":
+		return None{}, nil
+	case "gorilla":
+		return Gorilla{}, nil
+	case "delta":
+		return Delta{}, nil
+	case "rle":
+		return RLE{}, nil
+	case "flate":
+		return Flate{}, nil
+	}
+	return nil, fmt.Errorf("compress: unknown codec %q", name)
+}
+
+// Ratio returns rawLen/encLen, the paper's "600%" being 6.0.
+func Ratio(rawLen, encLen int) float64 {
+	if encLen == 0 {
+		return 0
+	}
+	return float64(rawLen) / float64(encLen)
+}
+
+// None is the identity codec.
+type None struct{}
+
+// Name implements Codec.
+func (None) Name() string { return "none" }
+
+// Encode implements Codec.
+func (None) Encode(src []byte, _ int) ([]byte, error) {
+	return append([]byte(nil), src...), nil
+}
+
+// Decode implements Codec.
+func (None) Decode(enc []byte, dstSize, _ int) ([]byte, error) {
+	if len(enc) != dstSize {
+		return nil, fmt.Errorf("compress: none codec size mismatch: %d vs %d", len(enc), dstSize)
+	}
+	return append([]byte(nil), enc...), nil
+}
+
+// Gorilla is an XOR-based float codec: each value is XORed with its
+// predecessor; the result is encoded as (control bits, leading-zero
+// count, significant bits). Smooth fields XOR to mostly-zero words.
+type Gorilla struct{}
+
+// Name implements Codec.
+func (Gorilla) Name() string { return "gorilla" }
+
+// Encode implements Codec.
+func (Gorilla) Encode(src []byte, elemSize int) ([]byte, error) {
+	switch elemSize {
+	case 8:
+		return gorillaEncode(src, 8), nil
+	case 4:
+		return gorillaEncode(src, 4), nil
+	default:
+		return nil, fmt.Errorf("compress: gorilla supports 4- or 8-byte elements, got %d", elemSize)
+	}
+}
+
+// Decode implements Codec.
+func (Gorilla) Decode(enc []byte, dstSize, elemSize int) ([]byte, error) {
+	if elemSize != 4 && elemSize != 8 {
+		return nil, fmt.Errorf("compress: gorilla supports 4- or 8-byte elements, got %d", elemSize)
+	}
+	return gorillaDecode(enc, dstSize, elemSize)
+}
+
+func gorillaEncode(src []byte, width int) []byte {
+	bitsPerWord := uint(width * 8)
+	lzBits := uint(6) // enough for 0..63
+	if width == 4 {
+		lzBits = 5
+	}
+	n := len(src) / width
+	var w bitWriter
+	var prev uint64
+	for i := 0; i < n; i++ {
+		v := readWord(src[i*width:], width)
+		if i == 0 {
+			w.writeBits(v, bitsPerWord)
+			prev = v
+			continue
+		}
+		x := v ^ prev
+		prev = v
+		if x == 0 {
+			w.writeBit(0)
+			continue
+		}
+		w.writeBit(1)
+		lead := uint(bits.LeadingZeros64(x)) - (64 - bitsPerWord)
+		if lead >= bitsPerWord {
+			lead = bitsPerWord - 1
+		}
+		sig := bitsPerWord - lead
+		w.writeBits(uint64(lead), lzBits)
+		w.writeBits(x, sig)
+	}
+	return w.finish()
+}
+
+func gorillaDecode(enc []byte, dstSize, width int) ([]byte, error) {
+	bitsPerWord := uint(width * 8)
+	lzBits := uint(6)
+	if width == 4 {
+		lzBits = 5
+	}
+	n := dstSize / width
+	out := make([]byte, dstSize)
+	r := bitReader{buf: enc}
+	var prev uint64
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			v, ok := r.readBits(bitsPerWord)
+			if !ok {
+				return nil, io.ErrUnexpectedEOF
+			}
+			prev = v
+			writeWord(out[0:], v, width)
+			continue
+		}
+		ctrl, ok := r.readBit()
+		if !ok {
+			return nil, io.ErrUnexpectedEOF
+		}
+		if ctrl == 0 {
+			writeWord(out[i*width:], prev, width)
+			continue
+		}
+		lead, ok := r.readBits(lzBits)
+		if !ok {
+			return nil, io.ErrUnexpectedEOF
+		}
+		sig := bitsPerWord - uint(lead)
+		x, ok := r.readBits(sig)
+		if !ok {
+			return nil, io.ErrUnexpectedEOF
+		}
+		prev ^= x
+		writeWord(out[i*width:], prev, width)
+	}
+	return out, nil
+}
+
+func readWord(b []byte, width int) uint64 {
+	if width == 8 {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return uint64(binary.LittleEndian.Uint32(b))
+}
+
+func writeWord(b []byte, v uint64, width int) {
+	if width == 8 {
+		binary.LittleEndian.PutUint64(b, v)
+		return
+	}
+	binary.LittleEndian.PutUint32(b, uint32(v))
+}
+
+// Delta encodes 8-byte integers as zig-zag deltas in varint form.
+type Delta struct{}
+
+// Name implements Codec.
+func (Delta) Name() string { return "delta" }
+
+// Encode implements Codec.
+func (Delta) Encode(src []byte, elemSize int) ([]byte, error) {
+	if elemSize != 8 {
+		return nil, fmt.Errorf("compress: delta supports 8-byte integers, got %d", elemSize)
+	}
+	n := len(src) / 8
+	out := make([]byte, 0, len(src)/4)
+	var prev int64
+	var tmp [binary.MaxVarintLen64]byte
+	for i := 0; i < n; i++ {
+		v := int64(binary.LittleEndian.Uint64(src[i*8:]))
+		d := v - prev
+		prev = v
+		k := binary.PutVarint(tmp[:], d)
+		out = append(out, tmp[:k]...)
+	}
+	return out, nil
+}
+
+// Decode implements Codec.
+func (Delta) Decode(enc []byte, dstSize, elemSize int) ([]byte, error) {
+	if elemSize != 8 {
+		return nil, fmt.Errorf("compress: delta supports 8-byte integers, got %d", elemSize)
+	}
+	n := dstSize / 8
+	out := make([]byte, dstSize)
+	var prev int64
+	pos := 0
+	for i := 0; i < n; i++ {
+		d, k := binary.Varint(enc[pos:])
+		if k <= 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		pos += k
+		prev += d
+		binary.LittleEndian.PutUint64(out[i*8:], uint64(prev))
+	}
+	return out, nil
+}
+
+// RLE is byte-level run-length encoding: (count-1, value) pairs with runs
+// up to 256.
+type RLE struct{}
+
+// Name implements Codec.
+func (RLE) Name() string { return "rle" }
+
+// Encode implements Codec.
+func (RLE) Encode(src []byte, _ int) ([]byte, error) {
+	out := make([]byte, 0, len(src)/8+16)
+	for i := 0; i < len(src); {
+		j := i + 1
+		for j < len(src) && src[j] == src[i] && j-i < 256 {
+			j++
+		}
+		out = append(out, byte(j-i-1), src[i])
+		i = j
+	}
+	return out, nil
+}
+
+// Decode implements Codec.
+func (RLE) Decode(enc []byte, dstSize, _ int) ([]byte, error) {
+	if len(enc)%2 != 0 {
+		return nil, fmt.Errorf("compress: truncated RLE stream")
+	}
+	out := make([]byte, 0, dstSize)
+	for i := 0; i < len(enc); i += 2 {
+		run := int(enc[i]) + 1
+		for k := 0; k < run; k++ {
+			out = append(out, enc[i+1])
+		}
+	}
+	if len(out) != dstSize {
+		return nil, fmt.Errorf("compress: RLE decoded %d bytes, want %d", len(out), dstSize)
+	}
+	return out, nil
+}
+
+// Flate wraps the stdlib DEFLATE at the default level.
+type Flate struct{}
+
+// Name implements Codec.
+func (Flate) Name() string { return "flate" }
+
+// Encode implements Codec.
+func (Flate) Encode(src []byte, _ int) ([]byte, error) {
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(src); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (Flate) Decode(enc []byte, dstSize, _ int) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(enc))
+	defer fr.Close()
+	out := make([]byte, 0, dstSize)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := fr.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(out) != dstSize {
+		return nil, fmt.Errorf("compress: flate decoded %d bytes, want %d", len(out), dstSize)
+	}
+	return out, nil
+}
+
+// Float64Bytes reinterprets a float64 slice as little-endian bytes
+// (helper for codec callers and tests).
+func Float64Bytes(xs []float64) []byte {
+	out := make([]byte, len(xs)*8)
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(x))
+	}
+	return out
+}
+
+// BytesFloat64 is the inverse of Float64Bytes.
+func BytesFloat64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}

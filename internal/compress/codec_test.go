@@ -1,0 +1,222 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, c Codec, src []byte, elemSize int) []byte {
+	t.Helper()
+	enc, err := c.Encode(src, elemSize)
+	if err != nil {
+		t.Fatalf("%s encode: %v", c.Name(), err)
+	}
+	dec, err := c.Decode(enc, len(src), elemSize)
+	if err != nil {
+		t.Fatalf("%s decode: %v", c.Name(), err)
+	}
+	if !bytes.Equal(src, dec) {
+		t.Fatalf("%s round trip mismatch (len %d vs %d)", c.Name(), len(src), len(dec))
+	}
+	return enc
+}
+
+// smoothField returns a CM1-like smooth 3-D field flattened to bytes.
+func smoothField(n int) []byte {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 300 + 5*math.Sin(float64(i)/40) + 0.01*math.Cos(float64(i)/7)
+	}
+	return Float64Bytes(xs)
+}
+
+// sparseField returns a mostly-zero field (like cloud water content).
+func sparseField(n int) []byte {
+	xs := make([]float64, n)
+	for i := n / 2; i < n/2+n/50; i++ {
+		xs[i] = 1e-3 * float64(i%7)
+	}
+	return Float64Bytes(xs)
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"none", "gorilla", "delta", "rle", "flate", ""} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if name != "" && c.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, c.Name())
+		}
+	}
+	if _, err := ByName("zstd"); err == nil {
+		t.Error("unknown codec should error")
+	}
+}
+
+func TestNoneRoundTrip(t *testing.T) {
+	src := []byte("hello damaris")
+	enc := roundTrip(t, None{}, src, 1)
+	if len(enc) != len(src) {
+		t.Fatalf("identity codec changed the length")
+	}
+}
+
+func TestGorillaRoundTripFloat64(t *testing.T) {
+	roundTrip(t, Gorilla{}, smoothField(10000), 8)
+	roundTrip(t, Gorilla{}, sparseField(10000), 8)
+}
+
+func TestGorillaRoundTripFloat32(t *testing.T) {
+	xs := make([]byte, 4000)
+	for i := 0; i < 1000; i++ {
+		binary.LittleEndian.PutUint32(xs[i*4:], math.Float32bits(float32(i)*0.5))
+	}
+	roundTrip(t, Gorilla{}, xs, 4)
+}
+
+func TestGorillaCompressesSmoothData(t *testing.T) {
+	src := sparseField(100000)
+	enc, _ := Gorilla{}.Encode(src, 8)
+	if r := Ratio(len(src), len(enc)); r < 4 {
+		t.Fatalf("gorilla ratio on sparse field = %.2f, want >= 4", r)
+	}
+}
+
+func TestGorillaRejectsBadElemSize(t *testing.T) {
+	if _, err := (Gorilla{}).Encode(make([]byte, 16), 2); err == nil {
+		t.Fatal("elemSize 2 should fail")
+	}
+	if _, err := (Gorilla{}).Decode(nil, 16, 3); err == nil {
+		t.Fatal("decode with elemSize 3 should fail")
+	}
+}
+
+func TestGorillaPropertyFloat64(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		for i, v := range raw {
+			if math.IsNaN(v) {
+				raw[i] = 0 // NaN payloads round-trip bitwise, but avoid ==-compare pitfalls
+			}
+		}
+		src := Float64Bytes(raw)
+		enc, err := Gorilla{}.Encode(src, 8)
+		if err != nil {
+			return false
+		}
+		dec, err := Gorilla{}.Decode(enc, len(src), 8)
+		return err == nil && bytes.Equal(src, dec)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, 2, 3, 100, 99, 98, -5, 1 << 40, math.MaxInt64, math.MinInt64}
+	src := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(src[i*8:], uint64(v))
+	}
+	enc := roundTrip(t, Delta{}, src, 8)
+	if len(enc) >= len(src) {
+		t.Logf("delta did not shrink adversarial data (fine): %d -> %d", len(src), len(enc))
+	}
+}
+
+func TestDeltaCompressesMonotonicData(t *testing.T) {
+	src := make([]byte, 8*10000)
+	for i := 0; i < 10000; i++ {
+		binary.LittleEndian.PutUint64(src[i*8:], uint64(1000000+i*3))
+	}
+	enc, _ := Delta{}.Encode(src, 8)
+	if r := Ratio(len(src), len(enc)); r < 6 {
+		t.Fatalf("delta ratio on monotonic data = %.2f, want >= 6", r)
+	}
+}
+
+func TestDeltaProperty(t *testing.T) {
+	if err := quick.Check(func(vals []int64) bool {
+		src := make([]byte, len(vals)*8)
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(src[i*8:], uint64(v))
+		}
+		enc, err := Delta{}.Encode(src, 8)
+		if err != nil {
+			return false
+		}
+		dec, err := Delta{}.Decode(enc, len(src), 8)
+		return err == nil && bytes.Equal(src, dec)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	roundTrip(t, RLE{}, bytes.Repeat([]byte{7}, 1000), 1)
+	roundTrip(t, RLE{}, []byte{1, 2, 3, 4, 5}, 1)
+	roundTrip(t, RLE{}, nil, 1)
+}
+
+func TestRLECompressesRuns(t *testing.T) {
+	src := bytes.Repeat([]byte{0}, 100000)
+	enc, _ := RLE{}.Encode(src, 1)
+	if r := Ratio(len(src), len(enc)); r < 100 {
+		t.Fatalf("RLE ratio on zeros = %.2f, want >= 100", r)
+	}
+}
+
+func TestRLEProperty(t *testing.T) {
+	if err := quick.Check(func(src []byte) bool {
+		enc, err := RLE{}.Encode(src, 1)
+		if err != nil {
+			return false
+		}
+		dec, err := RLE{}.Decode(enc, len(src), 1)
+		return err == nil && bytes.Equal(src, dec)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlateRoundTrip(t *testing.T) {
+	roundTrip(t, Flate{}, smoothField(5000), 8)
+	roundTrip(t, Flate{}, []byte("abc"), 1)
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(600, 100) != 6 {
+		t.Fatal("ratio arithmetic")
+	}
+	if Ratio(10, 0) != 0 {
+		t.Fatal("zero-length encode should give ratio 0")
+	}
+}
+
+func TestFloat64BytesRoundTrip(t *testing.T) {
+	xs := []float64{1.5, -2.25, 0, math.Pi}
+	ys := BytesFloat64(Float64Bytes(xs))
+	for i := range xs {
+		if xs[i] != ys[i] {
+			t.Fatalf("float bytes round trip: %v vs %v", xs, ys)
+		}
+	}
+}
+
+func BenchmarkGorillaEncodeSmooth(b *testing.B) {
+	src := smoothField(100000)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		Gorilla{}.Encode(src, 8)
+	}
+}
+
+func BenchmarkFlateEncodeSmooth(b *testing.B) {
+	src := smoothField(100000)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		Flate{}.Encode(src, 1)
+	}
+}

@@ -1,0 +1,447 @@
+// Package core implements the Damaris middleware (§III): on every SMP
+// node, one or a few dedicated cores run a data-management service that
+// the simulation cores talk to exclusively through node-local shared
+// memory and a message queue.
+//
+// A Node owns the shared-memory Segment, the event Queue, the block
+// Index, and the dedicated-core server goroutine. Each simulation core
+// holds a Client, whose API mirrors the original middleware:
+//
+//	Write(variable, iteration, data)  copy data into shared memory
+//	Alloc / Commit                    zero-copy variant
+//	Signal(name, iteration)           trigger a plugin event
+//	EndIteration(iteration)           mark this core's step complete
+//
+// When every client of the node has ended an iteration, the server fires
+// the configured end-of-iteration plugins (I/O, compression, analysis,
+// visualization), then frees the iteration's blocks.
+//
+// When the segment is full, Write fails with ErrSkipped and the whole
+// iteration is dropped for that client — the paper's §V.C policy of
+// "accepting potential loss of data rather than blocking the simulation".
+package core
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/meta"
+	"repro/internal/shm"
+)
+
+// ErrSkipped reports that data was dropped because the shared-memory
+// segment was full.
+var ErrSkipped = errors.New("damaris: iteration skipped (shared memory full)")
+
+// EventKind discriminates queue messages.
+type EventKind int
+
+// Queue event kinds.
+const (
+	EventWrite EventKind = iota
+	EventSignal
+	EventEndIteration
+	EventStop
+)
+
+// Event is one message on the node's queue.
+type Event struct {
+	Kind      EventKind
+	Source    int
+	Iteration int
+	// Name is the signal name (EventSignal) or variable (EventWrite).
+	Name string
+}
+
+// Plugin is a user-provided data-management action run by the dedicated
+// core (§III.A's plugin system).
+type Plugin interface {
+	// Name identifies the plugin in logs and errors.
+	Name() string
+	// OnEvent is called on the dedicated core. For end_iteration events
+	// the iteration's blocks are in ctx.Index until OnEvent returns.
+	OnEvent(ctx *PluginContext, ev Event) error
+}
+
+// PluginFunc adapts a function to the Plugin interface.
+type PluginFunc struct {
+	PluginName string
+	Fn         func(ctx *PluginContext, ev Event) error
+}
+
+// Name implements Plugin.
+func (p PluginFunc) Name() string { return p.PluginName }
+
+// OnEvent implements Plugin.
+func (p PluginFunc) OnEvent(ctx *PluginContext, ev Event) error { return p.Fn(ctx, ev) }
+
+// PluginFactory builds a plugin from its XML <plugin> attributes.
+type PluginFactory func(cfg map[string]string) (Plugin, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]PluginFactory{}
+)
+
+// RegisterPlugin adds a factory to the global plugin registry; XML
+// configurations refer to it by name.
+func RegisterPlugin(name string, f PluginFactory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = f
+}
+
+func lookupPlugin(name string) (PluginFactory, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// PluginContext is what a plugin sees of the node.
+type PluginContext struct {
+	Config    *meta.Config
+	Index     *meta.Index
+	NodeID    int
+	OutputDir string
+	Logger    *log.Logger
+}
+
+// BlockBytes returns the shared-memory bytes of an indexed block.
+// Plugins work directly on this memory — the zero-copy path the design
+// is built around.
+func (ctx *PluginContext) BlockBytes(ref meta.BlockRef) []byte {
+	return ref.Data.(*shm.Block).Bytes()
+}
+
+// Stats aggregates what the node measured.
+type Stats struct {
+	BlocksWritten       int64
+	BytesWritten        int64
+	IterationsCompleted int64
+	SkippedWrites       int64
+	ServerBusy          time.Duration
+	PluginErrors        int64
+}
+
+// Options tune NewNode beyond the XML configuration.
+type Options struct {
+	// NodeID distinguishes nodes in output file names.
+	NodeID int
+	// OutputDir is where I/O plugins write; empty means current dir.
+	OutputDir string
+	// Logger defaults to a silent logger.
+	Logger *log.Logger
+	// ExtraPlugins are instantiated plugins bound to events, in addition
+	// to those named in the XML configuration.
+	ExtraPlugins map[string][]Plugin
+}
+
+// Node is one SMP node's Damaris instance.
+type Node struct {
+	cfg     *meta.Config
+	seg     *shm.Segment
+	queue   *shm.Queue[Event]
+	index   *meta.Index
+	clients int
+	opts    Options
+
+	plugins map[string][]Plugin // event name → plugins
+
+	mu         sync.Mutex
+	stats      Stats
+	errs       []error
+	endCount   map[int]int
+	iterDone   *sync.Cond
+	skipped    map[skipKey]bool
+	serverDone chan struct{}
+}
+
+type skipKey struct{ source, iteration int }
+
+// NewNode builds the node runtime: shared-memory segment, queue, index,
+// plugins, and the dedicated-core server. clients is the number of
+// simulation cores that will attach.
+func NewNode(cfg *meta.Config, clients int, opts Options) (*Node, error) {
+	if clients <= 0 {
+		return nil, fmt.Errorf("damaris: need at least one client, got %d", clients)
+	}
+	seg, err := shm.NewSegment(cfg.Architecture.BufferSize)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Logger == nil {
+		opts.Logger = log.New(discard{}, "", 0)
+	}
+	n := &Node{
+		cfg:        cfg,
+		seg:        seg,
+		queue:      shm.NewQueue[Event](cfg.Architecture.QueueSize),
+		index:      meta.NewIndex(),
+		clients:    clients,
+		opts:       opts,
+		plugins:    map[string][]Plugin{},
+		endCount:   map[int]int{},
+		skipped:    map[skipKey]bool{},
+		serverDone: make(chan struct{}),
+	}
+	n.iterDone = sync.NewCond(&n.mu)
+	for _, spec := range cfg.Plugins {
+		factory, ok := lookupPlugin(spec.Name)
+		if !ok {
+			return nil, fmt.Errorf("damaris: plugin %q not registered", spec.Name)
+		}
+		p, err := factory(spec.Config)
+		if err != nil {
+			return nil, fmt.Errorf("damaris: building plugin %q: %w", spec.Name, err)
+		}
+		n.plugins[spec.Event] = append(n.plugins[spec.Event], p)
+	}
+	for event, ps := range opts.ExtraPlugins {
+		n.plugins[event] = append(n.plugins[event], ps...)
+	}
+	go n.serve()
+	return n, nil
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Config returns the node's parsed configuration.
+func (n *Node) Config() *meta.Config { return n.cfg }
+
+// Index exposes the block index (read-mostly; plugins use it).
+func (n *Node) Index() *meta.Index { return n.index }
+
+// Segment exposes the shared-memory segment (diagnostics).
+func (n *Node) Segment() *shm.Segment { return n.seg }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Errors returns the plugin errors collected so far.
+func (n *Node) Errors() []error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]error(nil), n.errs...)
+}
+
+// Client returns the handle for one simulation core. source must be
+// unique per core on this node.
+func (n *Node) Client(source int) *Client {
+	return &Client{node: n, source: source}
+}
+
+// WaitIteration blocks until the server has completed the given
+// iteration (all clients ended it and plugins ran).
+func (n *Node) WaitIteration(it int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for n.stats.IterationsCompleted <= int64(it) {
+		n.iterDone.Wait()
+	}
+}
+
+// Shutdown stops the server after all queued events are processed and
+// returns the first plugin error, if any.
+func (n *Node) Shutdown() error {
+	n.queue.Send(Event{Kind: EventStop})
+	<-n.serverDone
+	n.seg.Close()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.errs) > 0 {
+		return n.errs[0]
+	}
+	return nil
+}
+
+// serve is the dedicated-core loop.
+func (n *Node) serve() {
+	defer close(n.serverDone)
+	for {
+		ev, ok := n.queue.Recv()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		switch ev.Kind {
+		case EventStop:
+			return
+		case EventWrite:
+			// Blocks are indexed by the client; the event exists so the
+			// server can adapt (prefetch, schedule) — nothing to do in
+			// the base middleware.
+		case EventSignal:
+			n.firePlugins(ev.Name, ev)
+		case EventEndIteration:
+			n.mu.Lock()
+			n.endCount[ev.Iteration]++
+			complete := n.endCount[ev.Iteration] == n.clients
+			if complete {
+				delete(n.endCount, ev.Iteration)
+			}
+			n.mu.Unlock()
+			if complete {
+				n.firePlugins("end_iteration", ev)
+				n.collectIteration(ev.Iteration)
+			}
+		}
+		n.mu.Lock()
+		n.stats.ServerBusy += time.Since(start)
+		n.mu.Unlock()
+	}
+}
+
+func (n *Node) firePlugins(event string, ev Event) {
+	ctx := &PluginContext{
+		Config:    n.cfg,
+		Index:     n.index,
+		NodeID:    n.opts.NodeID,
+		OutputDir: n.opts.OutputDir,
+		Logger:    n.opts.Logger,
+	}
+	for _, p := range n.plugins[event] {
+		// A failing plugin must not take down the service: record and
+		// continue (plugin isolation).
+		if err := safeCall(p, ctx, ev); err != nil {
+			n.mu.Lock()
+			n.errs = append(n.errs, fmt.Errorf("plugin %q on %q: %w", p.Name(), event, err))
+			n.stats.PluginErrors++
+			n.mu.Unlock()
+			n.opts.Logger.Printf("plugin %q failed: %v", p.Name(), err)
+		}
+	}
+}
+
+func safeCall(p Plugin, ctx *PluginContext, ev Event) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return p.OnEvent(ctx, ev)
+}
+
+// collectIteration frees the iteration's blocks after plugins consumed
+// them (the garbage-collection step).
+func (n *Node) collectIteration(it int) {
+	for _, ref := range n.index.RemoveIteration(it) {
+		ref.Data.(*shm.Block).Free()
+	}
+	n.mu.Lock()
+	n.stats.IterationsCompleted++
+	n.iterDone.Broadcast()
+	n.mu.Unlock()
+}
+
+// Client is the per-simulation-core API.
+type Client struct {
+	node   *Node
+	source int
+}
+
+// Source returns the client's identifier.
+func (c *Client) Source() int { return c.source }
+
+// Write copies data for one variable of one iteration into shared memory
+// and notifies the dedicated core. It returns ErrSkipped (and drops the
+// whole iteration for this client) when the segment is full.
+func (c *Client) Write(variable string, iteration int, data []byte) error {
+	n := c.node
+	v, ok := n.cfg.Variables[variable]
+	if !ok {
+		return fmt.Errorf("damaris: unknown variable %q", variable)
+	}
+	if want := v.Layout.SizeBytes(); len(data) != want {
+		return fmt.Errorf("damaris: variable %q expects %d bytes, got %d", variable, want, len(data))
+	}
+	buf, commit, err := c.alloc(variable, iteration, len(data))
+	if err != nil {
+		return err
+	}
+	copy(buf, data)
+	return commit()
+}
+
+// Alloc reserves the block for one variable directly in shared memory so
+// the simulation can compute into it (the zero-copy path). Call the
+// returned commit function when the data is complete.
+func (c *Client) Alloc(variable string, iteration int) ([]byte, func() error, error) {
+	v, ok := c.node.cfg.Variables[variable]
+	if !ok {
+		return nil, nil, fmt.Errorf("damaris: unknown variable %q", variable)
+	}
+	return c.allocChecked(variable, iteration, v.Layout.SizeBytes())
+}
+
+func (c *Client) allocChecked(variable string, iteration, size int) ([]byte, func() error, error) {
+	buf, commit, err := c.alloc(variable, iteration, size)
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf, commit, nil
+}
+
+func (c *Client) alloc(variable string, iteration, size int) ([]byte, func() error, error) {
+	n := c.node
+	key := skipKey{c.source, iteration}
+	n.mu.Lock()
+	if n.skipped[key] {
+		n.mu.Unlock()
+		return nil, nil, ErrSkipped
+	}
+	n.mu.Unlock()
+
+	block, err := n.seg.Alloc(size)
+	if errors.Is(err, shm.ErrNoSpace) {
+		// The paper's policy: drop the iteration rather than block the
+		// simulation.
+		n.mu.Lock()
+		n.skipped[key] = true
+		n.stats.SkippedWrites++
+		n.mu.Unlock()
+		return nil, nil, ErrSkipped
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	commit := func() error {
+		old, replaced := n.index.Put(meta.BlockRef{
+			Key:  meta.BlockKey{Variable: variable, Source: c.source, Iteration: iteration},
+			Size: size,
+			Data: block,
+		})
+		if replaced {
+			old.Data.(*shm.Block).Free()
+		}
+		n.mu.Lock()
+		n.stats.BlocksWritten++
+		n.stats.BytesWritten += int64(size)
+		n.mu.Unlock()
+		n.queue.Send(Event{Kind: EventWrite, Source: c.source, Iteration: iteration, Name: variable})
+		return nil
+	}
+	return block.Bytes(), commit, nil
+}
+
+// Signal sends a named event to the dedicated core, triggering the
+// plugins bound to that event name.
+func (c *Client) Signal(name string, iteration int) {
+	c.node.queue.Send(Event{Kind: EventSignal, Source: c.source, Iteration: iteration, Name: name})
+}
+
+// EndIteration marks this client's step complete. When every client of
+// the node has ended the iteration, the dedicated core runs the
+// end-of-iteration plugins and frees the iteration's blocks.
+func (c *Client) EndIteration(iteration int) {
+	c.node.queue.Send(Event{Kind: EventEndIteration, Source: c.source, Iteration: iteration})
+}

@@ -1,0 +1,343 @@
+// Package des implements a deterministic process-oriented discrete-event
+// simulation engine, the substrate on which the large-scale experiments of
+// the paper (up to 9216 cores on a Kraken-like machine) are replayed in
+// virtual time.
+//
+// Model: an Engine owns a virtual clock and an event heap. Processes are
+// goroutines that run one at a time — the engine wakes exactly one process
+// and blocks until that process either yields (Wait, Acquire, Await, ...)
+// or terminates, so execution is sequential and, together with (time, seq)
+// event ordering, fully deterministic regardless of the Go scheduler.
+//
+// Callback events (Engine.At) run inline in the engine and may wake
+// processes by completing Futures or releasing Resources.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled occurrence: either resume a process or invoke fn.
+type event struct {
+	time float64
+	seq  uint64 // tie-breaker: FIFO among equal-time events
+	proc *Proc  // non-nil: wake this process
+	fn   func() // non-nil: run this callback in engine context
+	// canceled events stay in the heap but are skipped when popped.
+	canceled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. Create one with NewEngine,
+// spawn processes, then call Run. An Engine must not be used from multiple
+// OS-level contexts at once; all interaction happens either before Run or
+// from within processes/callbacks.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	ctl    chan struct{} // process → engine: "I yielded or finished"
+	nprocs int           // live processes (diagnostics)
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine {
+	return &Engine{ctl: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// schedule pushes an event at absolute time t.
+func (e *Engine) schedule(ev *event) *event {
+	if ev.time < e.now {
+		panic(fmt.Sprintf("des: scheduling into the past: t=%v now=%v", ev.time, e.now))
+	}
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Timer identifies a cancelable callback event scheduled with At.
+type Timer struct{ ev *event }
+
+// Cancel prevents the callback from firing. Canceling an already-fired or
+// already-canceled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+// At schedules fn to run at absolute virtual time t (>= Now). fn runs in
+// engine context: it must not block, but may complete Futures, release
+// Resources and schedule further events.
+func (e *Engine) At(t float64, fn func()) *Timer {
+	return &Timer{ev: e.schedule(&event{time: t, fn: fn})}
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Proc is a simulation process. All Proc methods must be called from the
+// goroutine running the process body.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Spawn creates a process executing fn, starting at the current virtual
+// time (or, during Run, at the moment Spawn is called).
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt creates a process that starts executing at absolute time t.
+func (e *Engine) SpawnAt(t float64, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.nprocs++
+	go func() {
+		<-p.resume // wait for the engine to start us
+		fn(p)
+		e.nprocs--
+		e.ctl <- struct{}{} // termination counts as a yield
+	}()
+	e.schedule(&event{time: t, proc: p})
+	return p
+}
+
+// yield hands control back to the engine and blocks until resumed.
+// The caller must already have arranged for a future resume (a scheduled
+// event, a Future completion, or a Resource grant), otherwise the process
+// deadlocks — Run will report it.
+func (p *Proc) yield() {
+	p.eng.ctl <- struct{}{}
+	<-p.resume
+}
+
+// Wait advances the process by d virtual seconds (d >= 0).
+func (p *Proc) Wait(d float64) {
+	if d < 0 {
+		panic("des: negative Wait")
+	}
+	p.eng.schedule(&event{time: p.eng.now + d, proc: p})
+	p.yield()
+}
+
+// WaitUntil advances the process to absolute time t (>= Now).
+func (p *Proc) WaitUntil(t float64) {
+	if t < p.eng.now {
+		panic("des: WaitUntil into the past")
+	}
+	p.eng.schedule(&event{time: t, proc: p})
+	p.yield()
+}
+
+// Run executes events until the heap is empty. It returns the final clock
+// value. Run panics if processes remain blocked with no pending events
+// (a modeling deadlock).
+func (e *Engine) Run() float64 {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		ev.proc.resume <- struct{}{}
+		<-e.ctl
+	}
+	if e.nprocs > 0 {
+		panic(fmt.Sprintf("des: deadlock: %d process(es) blocked with no pending events", e.nprocs))
+	}
+	return e.now
+}
+
+// Future is a one-shot completion signal that processes can Await.
+type Future struct {
+	eng     *Engine
+	done    bool
+	waiters []*Proc
+}
+
+// NewFuture creates an incomplete future.
+func (e *Engine) NewFuture() *Future { return &Future{eng: e} }
+
+// Done reports whether the future has completed.
+func (f *Future) Done() bool { return f.done }
+
+// Complete marks the future done and wakes all waiters at the current
+// time. Completing twice panics: it indicates a modeling bug.
+func (f *Future) Complete() {
+	if f.done {
+		panic("des: Future completed twice")
+	}
+	f.done = true
+	for _, w := range f.waiters {
+		f.eng.schedule(&event{time: f.eng.now, proc: w})
+	}
+	f.waiters = nil
+}
+
+// Await blocks the process until the future completes. Returns immediately
+// if it already has.
+func (p *Proc) Await(f *Future) {
+	if f.done {
+		return
+	}
+	f.waiters = append(f.waiters, p)
+	p.yield()
+}
+
+// Resource is a FIFO counting resource (capacity units). Processes Acquire
+// and Release units; waiters are served in arrival order. It models e.g. a
+// metadata server (capacity 1) or a bounded set of I/O tokens.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []resWaiter
+	// Busy accounting for utilization reports.
+	busySince float64
+	busyTotal float64
+}
+
+type resWaiter struct {
+	proc *Proc
+	n    int
+}
+
+// NewResource creates a resource with the given capacity (> 0).
+func (e *Engine) NewResource(capacity int) *Resource {
+	if capacity <= 0 {
+		panic("des: resource capacity must be positive")
+	}
+	return &Resource{eng: e, capacity: capacity}
+}
+
+// Available returns the number of free units.
+func (r *Resource) Available() int { return r.capacity - r.inUse }
+
+// QueueLen returns the number of waiting processes.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire blocks until n units are available and takes them. FIFO: a
+// request never overtakes an earlier one even if fewer units would fit.
+func (p *Proc) Acquire(r *Resource, n int) {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("des: Acquire(%d) on resource of capacity %d", n, r.capacity))
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.take(n)
+		return
+	}
+	r.waiters = append(r.waiters, resWaiter{proc: p, n: n})
+	p.yield()
+}
+
+func (r *Resource) take(n int) {
+	if r.inUse == 0 {
+		r.busySince = r.eng.now
+	}
+	r.inUse += n
+}
+
+// Release returns n units and grants queued requests in FIFO order.
+// It may be called from a process or an engine callback.
+func (r *Resource) Release(n int) {
+	if n <= 0 || n > r.inUse {
+		panic(fmt.Sprintf("des: Release(%d) with %d in use", n, r.inUse))
+	}
+	r.inUse -= n
+	if r.inUse == 0 {
+		r.busyTotal += r.eng.now - r.busySince
+	}
+	for len(r.waiters) > 0 && r.inUse+r.waiters[0].n <= r.capacity {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.take(w.n)
+		r.eng.schedule(&event{time: r.eng.now, proc: w.proc})
+	}
+}
+
+// BusyTime returns the total virtual time during which at least one unit
+// was in use. If the resource is currently busy the open interval is
+// included.
+func (r *Resource) BusyTime() float64 {
+	t := r.busyTotal
+	if r.inUse > 0 {
+		t += r.eng.now - r.busySince
+	}
+	return t
+}
+
+// Barrier is a reusable synchronization barrier for a fixed number of
+// parties, used by the collective-I/O model's rounds.
+type Barrier struct {
+	eng     *Engine
+	parties int
+	arrived int
+	gen     int
+	waiters []*Proc
+}
+
+// NewBarrier creates a barrier for the given number of parties (> 0).
+func (e *Engine) NewBarrier(parties int) *Barrier {
+	if parties <= 0 {
+		panic("des: barrier parties must be positive")
+	}
+	return &Barrier{eng: e, parties: parties}
+}
+
+// Arrive blocks until all parties have arrived, then releases everyone and
+// resets for the next generation.
+func (p *Proc) Arrive(b *Barrier) {
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		for _, w := range b.waiters {
+			b.eng.schedule(&event{time: b.eng.now, proc: w})
+		}
+		b.waiters = nil
+		return
+	}
+	b.waiters = append(b.waiters, p)
+	p.yield()
+}

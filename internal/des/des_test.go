@@ -1,0 +1,332 @@
+package des
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEngine()
+	var at []float64
+	e.Spawn("p", func(p *Proc) {
+		p.Wait(1.5)
+		at = append(at, p.Now())
+		p.Wait(2.5)
+		at = append(at, p.Now())
+	})
+	end := e.Run()
+	if end != 4 {
+		t.Fatalf("final clock = %v, want 4", end)
+	}
+	if len(at) != 2 || at[0] != 1.5 || at[1] != 4 {
+		t.Fatalf("observed times %v", at)
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var order []string
+		for i := 0; i < 5; i++ {
+			name := string(rune('a' + i))
+			e.Spawn(name, func(p *Proc) {
+				p.Wait(1)
+				order = append(order, p.Name())
+				p.Wait(1)
+				order = append(order, p.Name())
+			})
+		}
+		e.Run()
+		return order
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatal("nondeterministic length")
+		} else {
+			for j := range got {
+				if got[j] != first[j] {
+					t.Fatalf("run differs at %d: %v vs %v", j, got, first)
+				}
+			}
+		}
+	}
+	// Equal-time events must fire in spawn (FIFO) order.
+	want := []string{"a", "b", "c", "d", "e", "a", "b", "c", "d", "e"}
+	for i, w := range want {
+		if first[i] != w {
+			t.Fatalf("order = %v, want %v", first, want)
+		}
+	}
+}
+
+func TestSpawnAt(t *testing.T) {
+	e := NewEngine()
+	var started float64 = -1
+	e.SpawnAt(10, "late", func(p *Proc) { started = p.Now() })
+	e.Run()
+	if started != 10 {
+		t.Fatalf("SpawnAt started at %v", started)
+	}
+}
+
+func TestCallbacksAndTimers(t *testing.T) {
+	e := NewEngine()
+	fired := []float64{}
+	e.At(3, func() { fired = append(fired, e.Now()) })
+	tm := e.At(5, func() { t.Fatal("canceled timer fired") })
+	e.At(1, func() {
+		fired = append(fired, e.Now())
+		tm.Cancel()
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := NewEngine()
+	var at float64
+	e.At(2, func() {
+		e.After(3, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 5 {
+		t.Fatalf("After fired at %v, want 5", at)
+	}
+}
+
+func TestFuture(t *testing.T) {
+	e := NewEngine()
+	f := e.NewFuture()
+	var woke []float64
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *Proc) {
+			p.Await(f)
+			woke = append(woke, p.Now())
+		})
+	}
+	e.At(7, f.Complete)
+	e.Run()
+	if len(woke) != 3 {
+		t.Fatalf("woke %d waiters", len(woke))
+	}
+	for _, w := range woke {
+		if w != 7 {
+			t.Fatalf("waiter woke at %v", w)
+		}
+	}
+	// Await on a done future returns immediately.
+	e2 := NewEngine()
+	f2 := e2.NewFuture()
+	f2.Complete()
+	var ok bool
+	e2.Spawn("w", func(p *Proc) { p.Await(f2); ok = p.Now() == 0 })
+	e2.Run()
+	if !ok {
+		t.Fatal("Await on completed future did not return immediately")
+	}
+}
+
+func TestFutureDoubleCompletePanics(t *testing.T) {
+	e := NewEngine()
+	f := e.NewFuture()
+	f.Complete()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Complete did not panic")
+		}
+	}()
+	f.Complete()
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource(1)
+	var order []string
+	hold := func(name string, start, dur float64) {
+		e.SpawnAt(start, name, func(p *Proc) {
+			p.Acquire(r, 1)
+			order = append(order, name+"+")
+			p.Wait(dur)
+			r.Release(1)
+			order = append(order, name+"-")
+		})
+	}
+	hold("a", 0, 5)
+	hold("b", 1, 1)
+	hold("c", 2, 1)
+	e.Run()
+	want := []string{"a+", "a-", "b+", "b-", "c+", "c-"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResourceCapacityNeverExceeded(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource(3)
+	inUse, maxInUse := 0, 0
+	for i := 0; i < 20; i++ {
+		e.Spawn("p", func(p *Proc) {
+			p.Acquire(r, 1)
+			inUse++
+			if inUse > maxInUse {
+				maxInUse = inUse
+			}
+			p.Wait(1)
+			inUse--
+			r.Release(1)
+		})
+	}
+	e.Run()
+	if maxInUse != 3 {
+		t.Fatalf("max concurrent holders = %d, want 3", maxInUse)
+	}
+}
+
+func TestResourceBusyTime(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource(1)
+	e.Spawn("p", func(p *Proc) {
+		p.Wait(2)
+		p.Acquire(r, 1)
+		p.Wait(3)
+		r.Release(1)
+		p.Wait(4)
+	})
+	e.Run()
+	if r.BusyTime() != 3 {
+		t.Fatalf("busy time = %v, want 3", r.BusyTime())
+	}
+}
+
+func TestResourceMultiUnit(t *testing.T) {
+	e := NewEngine()
+	r := e.NewResource(2)
+	var got []float64
+	// First request takes both units for 5s; the 2-unit request queued at
+	// t=1 must not be overtaken by the 1-unit request queued at t=2 (FIFO).
+	e.SpawnAt(0, "big", func(p *Proc) {
+		p.Acquire(r, 2)
+		p.Wait(5)
+		r.Release(2)
+	})
+	e.SpawnAt(1, "two", func(p *Proc) {
+		p.Acquire(r, 2)
+		got = append(got, p.Now())
+		r.Release(2)
+	})
+	e.SpawnAt(2, "one", func(p *Proc) {
+		p.Acquire(r, 1)
+		got = append(got, p.Now())
+		r.Release(1)
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 5 || got[1] != 5 {
+		t.Fatalf("grant times = %v, want [5 5]", got)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	e := NewEngine()
+	b := e.NewBarrier(3)
+	var released []float64
+	starts := []float64{1, 4, 9}
+	for _, s := range starts {
+		e.SpawnAt(s, "p", func(p *Proc) {
+			p.Arrive(b)
+			released = append(released, p.Now())
+		})
+	}
+	e.Run()
+	if len(released) != 3 {
+		t.Fatalf("released %d", len(released))
+	}
+	for _, r := range released {
+		if r != 9 {
+			t.Fatalf("released at %v, want 9 (last arrival)", r)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e := NewEngine()
+	b := e.NewBarrier(2)
+	count := 0
+	for i := 0; i < 2; i++ {
+		e.Spawn("p", func(p *Proc) {
+			for round := 0; round < 3; round++ {
+				p.Wait(1)
+				p.Arrive(b)
+				count++
+			}
+		})
+	}
+	e.Run()
+	if count != 6 {
+		t.Fatalf("barrier rounds completed = %d, want 6", count)
+	}
+}
+
+func TestTimeMonotone(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	for i := 0; i < 50; i++ {
+		d := float64((i * 7) % 13)
+		e.Spawn("p", func(p *Proc) {
+			p.Wait(d)
+			times = append(times, p.Now())
+			p.Wait(d / 2)
+			times = append(times, p.Now())
+		})
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(times) {
+		t.Fatal("event execution times are not monotone")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	f := e.NewFuture()
+	e.Spawn("stuck", func(p *Proc) { p.Await(f) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run did not panic on deadlocked process")
+		}
+	}()
+	e.Run()
+}
+
+func TestManyProcessesScale(t *testing.T) {
+	e := NewEngine()
+	const n = 10000
+	done := 0
+	for i := 0; i < n; i++ {
+		e.Spawn("p", func(p *Proc) {
+			p.Wait(1)
+			p.Wait(1)
+			done++
+		})
+	}
+	e.Run()
+	if done != n {
+		t.Fatalf("completed %d of %d", done, n)
+	}
+}
+
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < 100; i++ {
+		e.Spawn("p", func(p *Proc) {
+			for j := 0; j < b.N/100+1; j++ {
+				p.Wait(1)
+			}
+		})
+	}
+	e.Run()
+}

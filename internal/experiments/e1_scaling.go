@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/iostrat"
+	"repro/internal/stats"
+)
+
+// E1Result holds the weak-scaling sweep of §IV.A: for each scale and each
+// I/O approach, the run time, the application-visible I/O cost, and the
+// speedup of Damaris over the baselines.
+type E1Result struct {
+	Report
+	// Results indexes the raw strategy results by [scale][approach].
+	Results map[int]map[iostrat.Approach]iostrat.Result
+}
+
+// approaches in presentation order.
+var approaches = []iostrat.Approach{iostrat.FilePerProcess, iostrat.Collective, iostrat.Damaris}
+
+// RunE1 reproduces §IV.A: CM1 weak scaling under the three I/O
+// approaches. Paper claims: the collective I/O phase reaches 800 s — 70 %
+// of the run time — at 9216 cores; Damaris scales nearly perfectly since
+// its I/O is asynchronous; the speedup over collective I/O reaches 3.5×.
+func RunE1(opts Options) (E1Result, error) {
+	opts = opts.withDefaults()
+	res := E1Result{
+		Report:  Report{ID: "E1", Title: "CM1 weak scaling by I/O approach (§IV.A)"},
+		Results: make(map[int]map[iostrat.Approach]iostrat.Result),
+	}
+	table := stats.NewTable(
+		fmt.Sprintf("run time per approach, %s, %d output phases", opts.Platform, opts.Iterations),
+		"cores", "approach", "total_s", "mean_io_s", "max_io_s", "io_frac", "speedup_vs_collective")
+
+	for _, cores := range opts.Scales {
+		plat := opts.platformFor(cores)
+		byApproach := make(map[iostrat.Approach]iostrat.Result, len(approaches))
+		cfg := iostrat.Config{
+			Platform: plat,
+			Workload: iostrat.CM1Workload(opts.Iterations),
+			Seed:     opts.Seed + uint64(cores),
+		}
+		for _, a := range approaches {
+			r, err := iostrat.Run(a, cfg)
+			if err != nil {
+				return E1Result{}, err
+			}
+			byApproach[a] = r
+		}
+		res.Results[cores] = byApproach
+		coll := byApproach[iostrat.Collective]
+		for _, a := range approaches {
+			r := byApproach[a]
+			table.AddRow(cores, string(a), r.TotalTime, r.MeanIOTime(), r.MaxIOTime(),
+				r.IOFraction(), coll.TotalTime/r.TotalTime)
+		}
+	}
+	res.Tables = []*stats.Table{table}
+
+	top := res.Results[opts.maxScale()]
+	coll, dam := top[iostrat.Collective], top[iostrat.Damaris]
+	res.Checks = []Check{
+		{
+			Name:     "collective max I/O phase at top scale",
+			Paper:    "up to 800 s (§IV.A)",
+			Measured: coll.MaxIOTime(), Unit: "s", Lo: 450, Hi: 1300,
+		},
+		{
+			Name:     "collective I/O fraction of run time",
+			Paper:    "70% of overall run time (§IV.A)",
+			Measured: coll.IOFraction(), Unit: "", Lo: 0.55, Hi: 0.85,
+		},
+		{
+			Name:     "Damaris speedup vs collective",
+			Paper:    "3.5x on Kraken (§IV.A)",
+			Measured: coll.TotalTime / dam.TotalTime, Unit: "x", Lo: 2.8, Hi: 4.2,
+		},
+		{
+			Name:     "Damaris visible I/O phase at top scale",
+			Paper:    "asynchronous, hidden (§IV.A)",
+			Measured: dam.MeanIOTime(), Unit: "s", Lo: 0, Hi: 0.5,
+		},
+		{
+			Name:     "Damaris scalability (runtime growth across sweep)",
+			Paper:    "nearly perfect weak scalability (§IV.A)",
+			Measured: damarisGrowth(res, opts), Unit: "x", Lo: 0.9, Hi: 1.15,
+		},
+	}
+	return res, nil
+}
+
+// damarisGrowth returns the ratio of Damaris run time at the largest scale
+// to the smallest — 1.0 is perfect weak scaling.
+func damarisGrowth(res E1Result, opts Options) float64 {
+	min, max := opts.Scales[0], opts.Scales[0]
+	for _, s := range opts.Scales {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	small := res.Results[min][iostrat.Damaris].TotalTime
+	large := res.Results[max][iostrat.Damaris].TotalTime
+	if small == 0 {
+		return 0
+	}
+	return large / small
+}

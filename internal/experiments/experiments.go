@@ -1,0 +1,162 @@
+// Package experiments implements the reproduction harness: one runner per
+// quantitative claim of the paper's evaluation (§IV and §V.C), each
+// producing the table/series the paper reports plus a set of checks
+// comparing the measured shape against the published one.
+//
+// Experiment IDs follow DESIGN.md:
+//
+//	E1 weak-scaling run time (§IV.A)     E5 compression (§IV.D)
+//	E2 I/O variability (§IV.B)           E6 I/O scheduling (§IV.D)
+//	E3 aggregate throughput (§IV.C)      E7 in-situ visualization (§V.C.1)
+//	E4 dedicated-core idle time (§IV.D)  E8 usability LoC (§V.C.2)
+//	A1/A2 design-choice ablations
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Options control the scale of an experiment run.
+type Options struct {
+	// Seed is the root seed for every stochastic input.
+	Seed uint64
+	// Iterations is the number of compute+output cycles per run.
+	Iterations int
+	// Scales lists the total core counts of the weak-scaling sweep.
+	Scales []int
+	// Platform names the preset machine (default "kraken").
+	Platform string
+}
+
+// Default returns the paper-scale options: the Kraken sweep up to 9216
+// cores.
+func Default() Options {
+	return Options{
+		Seed:       2013,
+		Iterations: 4,
+		Scales:     []int{576, 1152, 2304, 4608, 9216},
+		Platform:   "kraken",
+	}
+}
+
+// Quick returns reduced options for tests: a small machine, few phases.
+func Quick() Options {
+	return Options{
+		Seed:       2013,
+		Iterations: 2,
+		Scales:     []int{96, 192},
+		Platform:   "kraken",
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := Default()
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.Iterations == 0 {
+		o.Iterations = d.Iterations
+	}
+	if len(o.Scales) == 0 {
+		o.Scales = d.Scales
+	}
+	if o.Platform == "" {
+		o.Platform = d.Platform
+	}
+	return o
+}
+
+// platformFor resolves the preset and resizes it so that the total core
+// count equals the requested scale.
+func (o Options) platformFor(cores int) topology.Platform {
+	p, ok := topology.ByName(o.Platform, 1)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown platform %q", o.Platform))
+	}
+	if cores%p.CoresPerNode != 0 {
+		panic(fmt.Sprintf("experiments: %d cores not divisible by %d cores/node",
+			cores, p.CoresPerNode))
+	}
+	return p.WithNodes(cores / p.CoresPerNode)
+}
+
+// maxScale returns the largest core count in the sweep.
+func (o Options) maxScale() int {
+	m := o.Scales[0]
+	for _, s := range o.Scales[1:] {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Check compares one measured quantity against the band implied by the
+// paper's claim. Bands are generous on purpose: the substrate is a
+// simulator, the paper's testbed is not, and only the shape is asserted.
+type Check struct {
+	Name     string
+	Paper    string // the paper's claim, as text
+	Measured float64
+	Unit     string
+	Lo, Hi   float64 // accepted band; Hi == 0 means "at least Lo"
+}
+
+// Pass reports whether the measurement falls inside the band.
+func (c Check) Pass() bool {
+	if c.Hi == 0 {
+		return c.Measured >= c.Lo
+	}
+	return c.Measured >= c.Lo && c.Measured <= c.Hi
+}
+
+// String renders the check as a report line.
+func (c Check) String() string {
+	status := "OK  "
+	if !c.Pass() {
+		status = "MISS"
+	}
+	band := fmt.Sprintf("[%s, %s]", stats.FormatFloat(c.Lo), stats.FormatFloat(c.Hi))
+	if c.Hi == 0 {
+		band = fmt.Sprintf(">= %s", stats.FormatFloat(c.Lo))
+	}
+	return fmt.Sprintf("%s %-38s paper: %-34s measured: %s %s (band %s)",
+		status, c.Name, c.Paper, stats.FormatFloat(c.Measured), c.Unit, band)
+}
+
+// Report bundles an experiment's tables and checks.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	Checks []Check
+}
+
+// AllPass reports whether every check passed.
+func (r Report) AllPass() bool {
+	for _, c := range r.Checks {
+		if !c.Pass() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the full report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, c := range r.Checks {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

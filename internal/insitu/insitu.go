@@ -1,0 +1,210 @@
+// Package insitu is the analysis and visualization library of the
+// reproduction — the stand-in for the VisIt backend the paper embeds in
+// Damaris (§V). It provides the kernels an in-situ pipeline needs
+// (moments, histograms, isosurface cell classification, orthographic
+// rendering to PGM images) over 3-D scalar fields, independent of how
+// the coupling is done: synchronously from the simulation loop
+// (VisIt-style) or asynchronously from a dedicated core (Damaris-style).
+package insitu
+
+import (
+	"fmt"
+	"math"
+)
+
+// Field is a 3-D scalar field in z-slowest (k, j, i) layout.
+type Field struct {
+	Name string
+	NZ   int
+	NY   int
+	NX   int
+	Data []float64
+}
+
+// NewField allocates a zero field of the given shape.
+func NewField(name string, nz, ny, nx int) Field {
+	return Field{Name: name, NZ: nz, NY: ny, NX: nx, Data: make([]float64, nz*ny*nx)}
+}
+
+// Len returns the number of elements.
+func (f Field) Len() int { return f.NZ * f.NY * f.NX }
+
+// Validate checks the dims/data consistency.
+func (f Field) Validate() error {
+	if f.NZ <= 0 || f.NY <= 0 || f.NX <= 0 {
+		return fmt.Errorf("insitu: non-positive dims %dx%dx%d", f.NZ, f.NY, f.NX)
+	}
+	if len(f.Data) != f.Len() {
+		return fmt.Errorf("insitu: field %q has %d values for %dx%dx%d",
+			f.Name, len(f.Data), f.NZ, f.NY, f.NX)
+	}
+	return nil
+}
+
+// At returns the value at (k, j, i).
+func (f Field) At(k, j, i int) float64 { return f.Data[(k*f.NY+j)*f.NX+i] }
+
+// Set stores a value at (k, j, i).
+func (f *Field) Set(k, j, i int, v float64) { f.Data[(k*f.NY+j)*f.NX+i] = v }
+
+// Moments summarizes a field.
+type Moments struct {
+	Min, Max, Mean, Std float64
+	N                   int
+}
+
+// ComputeMoments returns min/max/mean/std of the field.
+func ComputeMoments(f Field) Moments {
+	if len(f.Data) == 0 {
+		return Moments{}
+	}
+	min, max := f.Data[0], f.Data[0]
+	sum, sumSq := 0.0, 0.0
+	for _, v := range f.Data {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(f.Data))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Moments{Min: min, Max: max, Mean: mean, Std: math.Sqrt(variance), N: len(f.Data)}
+}
+
+// Histogram bins the field's values into nbins equal-width bins between
+// lo and hi; values outside clamp to the edge bins.
+func Histogram(f Field, nbins int, lo, hi float64) []int {
+	if nbins <= 0 || hi <= lo {
+		return nil
+	}
+	bins := make([]int, nbins)
+	scale := float64(nbins) / (hi - lo)
+	for _, v := range f.Data {
+		b := int((v - lo) * scale)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		bins[b]++
+	}
+	return bins
+}
+
+// IsosurfaceCells counts the grid cells straddled by the isosurface at
+// the given level — the cell-classification pass of marching cubes,
+// which is the work an isosurface extraction is dominated by.
+func IsosurfaceCells(f Field, iso float64) int {
+	count := 0
+	for k := 0; k+1 < f.NZ; k++ {
+		for j := 0; j+1 < f.NY; j++ {
+			for i := 0; i+1 < f.NX; i++ {
+				below, above := false, false
+				for c := 0; c < 8; c++ {
+					v := f.At(k+(c&1), j+((c>>1)&1), i+((c>>2)&1))
+					if v < iso {
+						below = true
+					} else {
+						above = true
+					}
+				}
+				if below && above {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// Image is an 8-bit grayscale image.
+type Image struct {
+	W, H int
+	Pix  []byte
+}
+
+// RenderMaxIntensity produces a maximum-intensity orthographic
+// projection of the field along z, normalized to the field's range —
+// the simplest honest renderer an in-situ pipeline can ship.
+func RenderMaxIntensity(f Field) Image {
+	img := Image{W: f.NX, H: f.NY, Pix: make([]byte, f.NX*f.NY)}
+	m := ComputeMoments(f)
+	span := m.Max - m.Min
+	if span == 0 {
+		span = 1
+	}
+	for j := 0; j < f.NY; j++ {
+		for i := 0; i < f.NX; i++ {
+			max := math.Inf(-1)
+			for k := 0; k < f.NZ; k++ {
+				if v := f.At(k, j, i); v > max {
+					max = v
+				}
+			}
+			img.Pix[j*f.NX+i] = byte(255 * (max - m.Min) / span)
+		}
+	}
+	return img
+}
+
+// EncodePGM serializes the image as a binary PGM (P5) file.
+func (img Image) EncodePGM() []byte {
+	header := fmt.Sprintf("P5\n%d %d\n255\n", img.W, img.H)
+	out := make([]byte, 0, len(header)+len(img.Pix))
+	out = append(out, header...)
+	out = append(out, img.Pix...)
+	return out
+}
+
+// Result is what one analysis pass produces.
+type Result struct {
+	Field     string
+	Iteration int
+	Moments   Moments
+	Histogram []int
+	IsoCells  int
+	Image     Image
+}
+
+// Pipeline is a configured analysis: which kernels to run on each field.
+type Pipeline struct {
+	Bins     int
+	IsoLevel float64
+	Render   bool
+}
+
+// DefaultPipeline mirrors the paper's visualization use case: histogram,
+// isosurface and a rendered image.
+func DefaultPipeline() Pipeline {
+	return Pipeline{Bins: 32, IsoLevel: 0.5, Render: true}
+}
+
+// Analyze runs the pipeline on one field.
+func (p Pipeline) Analyze(f Field, iteration int) (Result, error) {
+	if err := f.Validate(); err != nil {
+		return Result{}, err
+	}
+	m := ComputeMoments(f)
+	res := Result{Field: f.Name, Iteration: iteration, Moments: m}
+	if p.Bins > 0 {
+		lo, hi := m.Min, m.Max
+		if hi == lo {
+			hi = lo + 1
+		}
+		res.Histogram = Histogram(f, p.Bins, lo, hi)
+	}
+	res.IsoCells = IsosurfaceCells(f, m.Min+(m.Max-m.Min)*p.IsoLevel)
+	if p.Render {
+		res.Image = RenderMaxIntensity(f)
+	}
+	return res, nil
+}

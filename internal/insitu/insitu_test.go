@@ -1,0 +1,192 @@
+package insitu
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sphereField(n int) Field {
+	f := NewField("s", n, n, n)
+	c := float64(n-1) / 2
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				dx, dy, dz := float64(i)-c, float64(j)-c, float64(k)-c
+				f.Set(k, j, i, math.Sqrt(dx*dx+dy*dy+dz*dz))
+			}
+		}
+	}
+	return f
+}
+
+func TestFieldValidate(t *testing.T) {
+	f := NewField("ok", 2, 3, 4)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Field{Name: "bad", NZ: 2, NY: 2, NX: 2, Data: make([]float64, 7)}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	neg := Field{Name: "neg", NZ: -1, NY: 2, NX: 2}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative dim accepted")
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	f := NewField("f", 3, 4, 5)
+	f.Set(2, 3, 4, 42)
+	if f.At(2, 3, 4) != 42 {
+		t.Fatal("At/Set mismatch")
+	}
+	if f.At(0, 0, 0) != 0 {
+		t.Fatal("unexpected nonzero")
+	}
+}
+
+func TestMoments(t *testing.T) {
+	f := Field{Name: "m", NZ: 1, NY: 1, NX: 4, Data: []float64{1, 2, 3, 4}}
+	m := ComputeMoments(f)
+	if m.Min != 1 || m.Max != 4 || m.Mean != 2.5 || m.N != 4 {
+		t.Fatalf("moments = %+v", m)
+	}
+	if math.Abs(m.Std-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("std = %v", m.Std)
+	}
+}
+
+func TestMomentsProperty(t *testing.T) {
+	if err := quick.Check(func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		f := Field{Name: "p", NZ: 1, NY: 1, NX: len(clean), Data: clean}
+		m := ComputeMoments(f)
+		return m.Min <= m.Mean && m.Mean <= m.Max && m.Std >= 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMassConserved(t *testing.T) {
+	f := sphereField(8)
+	h := Histogram(f, 10, 0, 8)
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != f.Len() {
+		t.Fatalf("histogram mass = %d, want %d", total, f.Len())
+	}
+	if Histogram(f, 0, 0, 1) != nil || Histogram(f, 4, 2, 2) != nil {
+		t.Fatal("degenerate histogram inputs should return nil")
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	// 0.5 sits exactly on the bin boundary and belongs to the upper bin;
+	// the out-of-range values clamp to the edge bins.
+	f := Field{Name: "c", NZ: 1, NY: 1, NX: 3, Data: []float64{-100, 0.5, 100}}
+	h := Histogram(f, 2, 0, 1)
+	if h[0] != 1 || h[1] != 2 {
+		t.Fatalf("clamped histogram = %v", h)
+	}
+}
+
+func TestIsosurfaceSphere(t *testing.T) {
+	f := sphereField(16)
+	cells := IsosurfaceCells(f, 5)
+	if cells == 0 {
+		t.Fatal("sphere isosurface found no cells")
+	}
+	// The isosurface of radius r has O(r²) cells; radius 5 inside a 16³
+	// grid should be a few hundred cells, not thousands.
+	if cells > 4000 {
+		t.Fatalf("suspiciously many cells: %d", cells)
+	}
+	// A level outside the data range crosses nothing.
+	if IsosurfaceCells(f, 1e9) != 0 {
+		t.Fatal("out-of-range isosurface crossed cells")
+	}
+}
+
+func TestIsosurfaceGrowsWithRadius(t *testing.T) {
+	f := sphereField(24)
+	small := IsosurfaceCells(f, 3)
+	large := IsosurfaceCells(f, 9)
+	if small >= large {
+		t.Fatalf("r=3 cells (%d) >= r=9 cells (%d)", small, large)
+	}
+}
+
+func TestRenderMaxIntensity(t *testing.T) {
+	f := NewField("r", 4, 8, 6)
+	f.Set(2, 3, 1, 10) // bright voxel
+	img := RenderMaxIntensity(f)
+	if img.W != 6 || img.H != 8 {
+		t.Fatalf("image dims %dx%d", img.W, img.H)
+	}
+	if img.Pix[3*6+1] != 255 {
+		t.Fatalf("bright voxel rendered as %d", img.Pix[3*6+1])
+	}
+	if img.Pix[0] != 0 {
+		t.Fatalf("dark pixel rendered as %d", img.Pix[0])
+	}
+}
+
+func TestEncodePGM(t *testing.T) {
+	img := Image{W: 2, H: 1, Pix: []byte{0, 255}}
+	out := img.EncodePGM()
+	if !bytes.HasPrefix(out, []byte("P5\n2 1\n255\n")) {
+		t.Fatalf("PGM header wrong: %q", out[:12])
+	}
+	if !bytes.HasSuffix(out, []byte{0, 255}) {
+		t.Fatal("PGM payload wrong")
+	}
+}
+
+func TestPipelineAnalyze(t *testing.T) {
+	p := DefaultPipeline()
+	res, err := p.Analyze(sphereField(12), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Field != "s" || res.Iteration != 3 {
+		t.Fatalf("result identity: %+v", res)
+	}
+	if len(res.Histogram) != p.Bins || res.IsoCells == 0 || len(res.Image.Pix) == 0 {
+		t.Fatalf("incomplete result: hist=%d iso=%d img=%d",
+			len(res.Histogram), res.IsoCells, len(res.Image.Pix))
+	}
+	if _, err := p.Analyze(Field{Name: "bad", NZ: 1, NY: 1, NX: 2}, 0); err == nil {
+		t.Fatal("invalid field accepted")
+	}
+}
+
+func TestPipelineConstantField(t *testing.T) {
+	f := NewField("flat", 4, 4, 4)
+	res, err := DefaultPipeline().Analyze(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IsoCells != 0 {
+		t.Fatal("constant field has no isosurface")
+	}
+}
+
+func BenchmarkAnalyze32(b *testing.B) {
+	f := sphereField(32)
+	p := DefaultPipeline()
+	for i := 0; i < b.N; i++ {
+		p.Analyze(f, 0)
+	}
+}

@@ -1,0 +1,258 @@
+package iostrat
+
+import (
+	"repro/internal/des"
+	"repro/internal/pfs"
+	"repro/internal/rng"
+)
+
+// nodeShm models one node's shared-memory segment between simulation
+// cores and the dedicated core: bounded capacity, a FIFO of pending
+// iterations, and the paper's §V.C policy of *skipping* an iteration
+// (rather than blocking the simulation) when the segment is full.
+type nodeShm struct {
+	eng      *des.Engine
+	capacity float64
+	occupied float64
+	pending  []shmIter
+	waiting  *des.Future // dedicated core parked on an empty queue
+	skipped  int
+	closed   bool
+}
+
+type shmIter struct {
+	iter  int
+	bytes float64
+}
+
+// offer tries to enqueue an iteration's data; it reports false (and counts
+// a skip) when the segment cannot hold it.
+func (s *nodeShm) offer(it int, bytes float64) bool {
+	if s.occupied+bytes > s.capacity {
+		s.skipped++
+		return false
+	}
+	s.occupied += bytes
+	s.pending = append(s.pending, shmIter{iter: it, bytes: bytes})
+	if s.waiting != nil {
+		f := s.waiting
+		s.waiting = nil
+		f.Complete()
+	}
+	return true
+}
+
+// take blocks the dedicated core until data is pending, then dequeues one
+// iteration. It returns false when closed and drained.
+func (s *nodeShm) take(p *des.Proc) (shmIter, bool) {
+	for len(s.pending) == 0 {
+		if s.closed {
+			return shmIter{}, false
+		}
+		s.waiting = s.eng.NewFuture()
+		p.Await(s.waiting)
+	}
+	it := s.pending[0]
+	s.pending = s.pending[1:]
+	return it, true
+}
+
+// free releases an iteration's bytes after the dedicated core wrote them.
+func (s *nodeShm) free(bytes float64) { s.occupied -= bytes }
+
+// close marks the producer finished; a parked dedicated core is woken to
+// observe the closure.
+func (s *nodeShm) close() {
+	s.closed = true
+	if s.waiting != nil {
+		f := s.waiting
+		s.waiting = nil
+		f.Complete()
+	}
+}
+
+// runDamaris models the Damaris approach: per node, CoresPerNode-D
+// simulation cores and D dedicated cores. Simulation cores pay only the
+// shared-memory write (bytes/ShmBandwidth + per-variable overhead); the
+// dedicated core asynchronously aggregates the node's output into
+// FilesPerIter big files per iteration and writes them overlapped with
+// the next compute phase. Because the node computes the same (weak-
+// scaling) problem on fewer cores, the compute phase stretches by
+// CoresPerNode/(CoresPerNode-D) — the paper's "slight impact".
+func runDamaris(cfg Config) Result {
+	eng := des.NewEngine()
+	root := rng.New(cfg.Seed, 3)
+	fs := pfs.New(eng, cfg.Platform.PFS, root.Named("pfs"))
+
+	plat := cfg.Platform
+	w := cfg.Workload
+	dedicated := cfg.DedicatedPerNode
+	computePerNode := plat.CoresPerNode - dedicated
+	if computePerNode <= 0 {
+		panic("iostrat: no compute cores left on the node")
+	}
+	nComputeRanks := plat.Nodes * computePerNode
+	// Same per-node problem on fewer cores: longer compute phase.
+	stretch := float64(plat.CoresPerNode) / float64(computePerNode)
+	computeTime := w.ComputeTime * stretch
+	// The node still produces the same output volume per iteration.
+	nodeBytes := w.NodeBytes(plat.CoresPerNode)
+	bytesPerComputeRank := nodeBytes / float64(nComputeRanks/plat.Nodes)
+
+	res := Result{Approach: Damaris, Platform: plat, Workload: w}
+	res.IOTimes = make([]float64, w.Iterations)
+	res.RankWriteTimes = make([]float64, 0, nComputeRanks*w.Iterations)
+
+	stepBarrier := eng.NewBarrier(nComputeRanks)
+	phaseStart := make([]float64, w.Iterations)
+
+	shms := make([]*nodeShm, plat.Nodes)
+	arrived := make([][]int, plat.Nodes) // per node, per iteration rank count
+	for n := range shms {
+		shms[n] = &nodeShm{eng: eng, capacity: cfg.ShmCapacity}
+		arrived[n] = make([]int, w.Iterations)
+	}
+
+	var schedule writeScheduler
+	switch cfg.Scheduling {
+	case SchedOSTToken:
+		schedule = newOSTTokens(eng, fs.OSTCount())
+	case SchedGlobalToken:
+		schedule = newGlobalTokens(eng, fs.OSTCount())
+	default:
+		schedule = nopScheduler{}
+	}
+
+	// Simulation cores.
+	var appEnd float64
+	for r := 0; r < nComputeRanks; r++ {
+		rank := r
+		node := rank / computePerNode
+		compRng := root.Named("compute").Child(uint64(rank))
+		eng.Spawn("sim", func(p *des.Proc) {
+			for it := 0; it < w.Iterations; it++ {
+				p.Wait(computeTime * compRng.UnitLogNormal(w.ComputeJitter))
+				p.Arrive(stepBarrier)
+				if rank == 0 {
+					fs.BeginPhase()
+					phaseStart[it] = p.Now()
+				}
+				// The application-visible "I/O": copy the variables into
+				// the shared-memory segment.
+				t0 := p.Now()
+				p.Wait(bytesPerComputeRank/plat.ShmBandwidth +
+					float64(w.VarsPerCore)*plat.ShmWriteOverhead)
+				res.RankWriteTimes = append(res.RankWriteTimes, p.Now()-t0)
+				// Last core of the node in this iteration publishes the
+				// node's data to the dedicated core.
+				arrived[node][it]++
+				if arrived[node][it] == computePerNode {
+					shms[node].offer(it, nodeBytes)
+				}
+				p.Arrive(stepBarrier)
+				if rank == 0 {
+					res.IOTimes[it] = p.Now() - phaseStart[it]
+				}
+			}
+			if rank == 0 {
+				appEnd = p.Now()
+				for _, s := range shms {
+					s.close()
+				}
+			}
+		})
+	}
+
+	// Dedicated cores (one writer proc per node; D dedicated cores share
+	// the same work, so busy time is attributed to the node's pool).
+	for n := 0; n < plat.Nodes; n++ {
+		node := n
+		eng.Spawn("dedicated", func(p *des.Proc) {
+			fileSeq := 0
+			for {
+				item, ok := shms[node].take(p)
+				if !ok {
+					return
+				}
+				t0 := p.Now()
+				payload := item.bytes
+				if cfg.CompressRatio > 1 {
+					// Compression runs on the dedicated core: CPU time
+					// here, fewer bytes toward the file system, and no
+					// cost at all on the simulation side.
+					p.Wait(payload / cfg.CompressRate)
+					payload /= cfg.CompressRatio
+				}
+				files := cfg.FilesPerIter
+				per := payload / float64(files)
+				pat := pfs.BigSequential
+				if per < 64e6 {
+					pat = pfs.SmallFile
+				}
+				for f := 0; f < files; f++ {
+					// Usage-balanced allocation (Lustre QoS allocator):
+					// spread node files round-robin over the OSTs.
+					ost := (node + fileSeq*plat.Nodes) % fs.OSTCount()
+					fileSeq++
+					release := schedule.acquire(p, ost)
+					fs.Create(p)
+					fs.Write(p, ost, per, pat)
+					fs.Close(p)
+					release()
+					res.FilesCreated++
+				}
+				shms[node].free(item.bytes)
+				res.DedicatedBusy += p.Now() - t0
+			}
+		})
+	}
+
+	drainEnd := eng.Run()
+	res.TotalTime = appEnd
+	res.DrainTime = drainEnd
+	res.BytesWritten = fs.TotalBytes()
+	res.IOWindow = fs.IOBusyTime()
+	res.DedicatedTotal = float64(plat.Nodes*dedicated) * drainEnd
+	for _, s := range shms {
+		res.SkippedIters += s.skipped
+	}
+	return res
+}
+
+// writeScheduler coordinates dedicated-core writes (E6). acquire blocks
+// until the write may start and returns the matching release.
+type writeScheduler interface {
+	acquire(p *des.Proc, ost int) (release func())
+}
+
+type nopScheduler struct{}
+
+func (nopScheduler) acquire(*des.Proc, int) func() { return func() {} }
+
+// ostTokens serializes writers per OST.
+type ostTokens struct{ tokens []*des.Resource }
+
+func newOSTTokens(eng *des.Engine, n int) *ostTokens {
+	t := &ostTokens{tokens: make([]*des.Resource, n)}
+	for i := range t.tokens {
+		t.tokens[i] = eng.NewResource(1)
+	}
+	return t
+}
+
+func (t *ostTokens) acquire(p *des.Proc, ost int) func() {
+	p.Acquire(t.tokens[ost], 1)
+	return func() { t.tokens[ost].Release(1) }
+}
+
+// globalTokens bounds the number of concurrent dedicated-core writers.
+type globalTokens struct{ sem *des.Resource }
+
+func newGlobalTokens(eng *des.Engine, n int) *globalTokens {
+	return &globalTokens{sem: eng.NewResource(n)}
+}
+
+func (t *globalTokens) acquire(p *des.Proc, _ int) func() {
+	p.Acquire(t.sem, 1)
+	return func() { t.sem.Release(1) }
+}

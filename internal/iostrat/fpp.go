@@ -1,0 +1,67 @@
+package iostrat
+
+import (
+	"repro/internal/des"
+	"repro/internal/pfs"
+	"repro/internal/rng"
+)
+
+// runFPP models the file-per-process approach: every rank creates and
+// writes its own file each output phase. There is no inter-rank
+// synchronization inside the phase, but the application is bulk-
+// synchronous, so the next compute phase starts only when every rank has
+// finished writing — the phase cost is the max over ranks.
+func runFPP(cfg Config) Result {
+	eng := des.NewEngine()
+	root := rng.New(cfg.Seed, 1)
+	fs := pfs.New(eng, cfg.Platform.PFS, root.Named("pfs"))
+
+	plat := cfg.Platform
+	w := cfg.Workload
+	ranks := plat.Cores()
+
+	res := Result{Approach: FilePerProcess, Platform: plat, Workload: w}
+	res.IOTimes = make([]float64, w.Iterations)
+	res.RankWriteTimes = make([]float64, 0, ranks*w.Iterations)
+
+	stepBarrier := eng.NewBarrier(ranks)
+	phaseStart := make([]float64, w.Iterations)
+
+	for r := 0; r < ranks; r++ {
+		rank := r
+		compRng := root.Named("compute").Child(uint64(rank))
+		placeRng := root.Named("place").Child(uint64(rank))
+		eng.Spawn("rank", func(p *des.Proc) {
+			for it := 0; it < w.Iterations; it++ {
+				p.Wait(w.ComputeTime * compRng.UnitLogNormal(w.ComputeJitter))
+				p.Arrive(stepBarrier)
+				if rank == 0 {
+					// First process into the phase: fresh interference
+					// draws and the phase-start timestamp.
+					fs.BeginPhase()
+					phaseStart[it] = p.Now()
+				}
+				t0 := p.Now()
+				ost := fs.PlaceFile(1, placeRng)[0]
+				fs.Create(p)
+				fs.Write(p, ost, w.BytesPerCore, pfs.SmallFile)
+				fs.Close(p)
+				res.RankWriteTimes = append(res.RankWriteTimes, p.Now()-t0)
+				p.Arrive(stepBarrier)
+				if rank == 0 {
+					res.IOTimes[it] = p.Now() - phaseStart[it]
+				}
+			}
+			if rank == 0 {
+				res.TotalTime = p.Now()
+			}
+		})
+	}
+	eng.Run()
+
+	res.BytesWritten = fs.TotalBytes()
+	res.IOWindow = fs.IOBusyTime()
+	res.FilesCreated = ranks * w.Iterations
+	res.DrainTime = res.TotalTime
+	return res
+}

@@ -1,0 +1,236 @@
+// Package iostrat implements the three I/O approaches compared in the
+// paper as discrete-event models over the pfs substrate:
+//
+//   - file-per-process (§II): every rank writes its own file each output
+//     phase — no synchronization, but a metadata storm and many small
+//     interleaved streams;
+//   - collective two-phase I/O (§II, Thakur et al.): node-level
+//     aggregators exchange data and write a single shared file in
+//     barriered rounds;
+//   - Damaris (§III): one core per node is dedicated to I/O; simulation
+//     cores hand their data to it through shared memory (≈0.1 s visible
+//     cost) and the dedicated core writes one big file per node
+//     asynchronously, overlapped with the next compute phase.
+//
+// All three run the same bulk-synchronous workload (compute phase, then
+// output phase, repeated), so their results are directly comparable.
+package iostrat
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Approach names one of the modeled I/O strategies.
+type Approach string
+
+// The strategies of the paper's evaluation.
+const (
+	FilePerProcess Approach = "file-per-process"
+	Collective     Approach = "collective"
+	Damaris        Approach = "damaris"
+)
+
+// Scheduling selects how Damaris dedicated cores coordinate their writes
+// (§IV.D "a better I/O scheduling schema").
+type Scheduling string
+
+const (
+	// SchedNone starts every write immediately (uncoordinated).
+	SchedNone Scheduling = "none"
+	// SchedOSTToken serializes writers per target OST: at most one
+	// dedicated-core stream per OST at a time.
+	SchedOSTToken Scheduling = "ost-token"
+	// SchedGlobalToken bounds the number of concurrently writing
+	// dedicated cores to the number of OSTs.
+	SchedGlobalToken Scheduling = "global-token"
+)
+
+// Workload describes the application's output behaviour, CM1-like: a
+// predictable compute phase followed by a synchronized output of all
+// variables.
+type Workload struct {
+	// BytesPerCore written by each simulation core per output phase.
+	BytesPerCore float64
+	// VarsPerCore is the number of distinct variables (i.e. write calls)
+	// per core per output phase.
+	VarsPerCore int
+	// ComputeTime is the duration of one compute phase (seconds) when all
+	// cores of the node compute.
+	ComputeTime float64
+	// ComputeJitter is the log-normal sigma of per-rank compute noise;
+	// CM1's compute phases are "extremely predictable", so keep it small.
+	ComputeJitter float64
+	// Iterations is the number of compute+output cycles.
+	Iterations int
+}
+
+// NodeBytes returns the bytes produced per node per output phase.
+func (w Workload) NodeBytes(coresPerNode int) float64 {
+	return w.BytesPerCore * float64(coresPerNode)
+}
+
+// CM1Workload returns the workload used for the Kraken runs: ≈38 MB per
+// core per output phase across 20 variables, with a 300 s compute phase
+// between outputs.
+func CM1Workload(iterations int) Workload {
+	return Workload{
+		BytesPerCore:  38e6,
+		VarsPerCore:   20,
+		ComputeTime:   300,
+		ComputeJitter: 0.004,
+		Iterations:    iterations,
+	}
+}
+
+// Config parameterizes one strategy run.
+type Config struct {
+	Platform topology.Platform
+	Workload Workload
+	Seed     uint64
+
+	// Damaris options.
+
+	// DedicatedPerNode is the number of cores per node removed from
+	// computation and devoted to I/O (default 1).
+	DedicatedPerNode int
+	// ShmCapacity is the per-node shared-memory segment size in bytes
+	// (default: 4× the per-iteration node output).
+	ShmCapacity float64
+	// Scheduling coordinates dedicated-core writes (default SchedNone).
+	Scheduling Scheduling
+	// FilesPerIter is the number of files each dedicated core writes per
+	// iteration (default 1; the A2 ablation sweeps it).
+	FilesPerIter int
+	// CompressRatio, when > 1, makes the dedicated core compress the
+	// node's output before writing: bytes on storage shrink by the ratio
+	// and the core spends bytes/CompressRate seconds of CPU on it (E5).
+	CompressRatio float64
+	// CompressRate is the dedicated-core compression speed in bytes/s
+	// (default 400 MB/s).
+	CompressRate float64
+
+	// Collective options.
+
+	// CollectiveBuffer is the per-aggregator bytes written per two-phase
+	// round (default 16 MB, ROMIO's cb_buffer_size scale).
+	CollectiveBuffer float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DedicatedPerNode == 0 {
+		c.DedicatedPerNode = 1
+	}
+	if c.ShmCapacity == 0 {
+		c.ShmCapacity = 4 * c.Workload.NodeBytes(c.Platform.CoresPerNode)
+	}
+	if c.Scheduling == "" {
+		c.Scheduling = SchedNone
+	}
+	if c.FilesPerIter == 0 {
+		c.FilesPerIter = 1
+	}
+	if c.CompressRatio == 0 {
+		c.CompressRatio = 1
+	}
+	if c.CompressRate == 0 {
+		c.CompressRate = 400e6
+	}
+	if c.CollectiveBuffer == 0 {
+		c.CollectiveBuffer = 16e6
+	}
+	return c
+}
+
+// Result reports what one strategy run measured.
+type Result struct {
+	Approach Approach
+	Platform topology.Platform
+	Workload Workload
+
+	// TotalTime is the application run time: start until the last rank
+	// finishes its final iteration (dedicated-core draining excluded, as
+	// in the paper's "scalability does not depend on I/O anymore").
+	TotalTime float64
+	// IOTimes has one entry per iteration: the application-visible
+	// duration of the output phase (max over ranks).
+	IOTimes []float64
+	// RankWriteTimes samples the per-rank, per-iteration time spent in
+	// the write call (file write for sync approaches, shared-memory write
+	// for Damaris).
+	RankWriteTimes []float64
+	// BytesWritten is the total payload that reached the file system.
+	BytesWritten float64
+	// IOWindow is the union of time during which at least one transfer
+	// was in flight; BytesWritten/IOWindow is the achieved aggregate
+	// throughput.
+	IOWindow float64
+	// FilesCreated counts MDS create operations.
+	FilesCreated int
+
+	// Damaris-only measurements.
+
+	// DedicatedBusy is the total busy time summed over dedicated cores.
+	DedicatedBusy float64
+	// DedicatedTotal is the total dedicated-core time available
+	// (cores × run time, including the drain window).
+	DedicatedTotal float64
+	// SkippedIters counts iterations dropped because the shared-memory
+	// segment was full (the paper's §V.C loss-over-blocking policy).
+	SkippedIters int
+	// DrainTime is when the last dedicated-core write completed.
+	DrainTime float64
+}
+
+// MeanIOTime returns the mean application-visible output-phase duration.
+func (r Result) MeanIOTime() float64 { return stats.Mean(r.IOTimes) }
+
+// MaxIOTime returns the worst output phase.
+func (r Result) MaxIOTime() float64 { return stats.Max(r.IOTimes) }
+
+// IOFraction returns the share of run time spent in application-visible
+// I/O phases.
+func (r Result) IOFraction() float64 {
+	if r.TotalTime == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range r.IOTimes {
+		sum += t
+	}
+	return sum / r.TotalTime
+}
+
+// Throughput returns the achieved aggregate write throughput in bytes/s.
+func (r Result) Throughput() float64 {
+	if r.IOWindow == 0 {
+		return 0
+	}
+	return r.BytesWritten / r.IOWindow
+}
+
+// IdleFraction returns the idle share of the dedicated cores (Damaris
+// only; 0 for other approaches).
+func (r Result) IdleFraction() float64 {
+	if r.DedicatedTotal == 0 {
+		return 0
+	}
+	return 1 - r.DedicatedBusy/r.DedicatedTotal
+}
+
+// Run executes the named approach under cfg and returns its measurements.
+func Run(a Approach, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	switch a {
+	case FilePerProcess:
+		return runFPP(cfg), nil
+	case Collective:
+		return runCollective(cfg), nil
+	case Damaris:
+		return runDamaris(cfg), nil
+	default:
+		return Result{}, fmt.Errorf("iostrat: unknown approach %q", a)
+	}
+}

@@ -1,0 +1,303 @@
+package meta
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Config is the parsed Damaris XML description.
+type Config struct {
+	Name         string
+	Architecture Architecture
+	Parameters   map[string]int
+	Layouts      map[string]*Layout
+	Variables    map[string]*Variable
+	Meshes       map[string]*Mesh
+	Plugins      []PluginSpec
+
+	varOrder []string // declaration order, for stable iteration
+}
+
+// Architecture holds the per-node deployment parameters.
+type Architecture struct {
+	DedicatedCores int
+	BufferSize     int // shared-memory segment bytes
+	QueueSize      int // event queue capacity
+}
+
+// Layout describes the shape of a variable's blocks.
+type Layout struct {
+	Name string
+	Type Type
+	// Dims are the resolved dimension extents, slowest-varying first.
+	Dims []int
+}
+
+// Elems returns the number of elements in one block of this layout.
+func (l *Layout) Elems() int {
+	n := 1
+	for _, d := range l.Dims {
+		n *= d
+	}
+	return n
+}
+
+// SizeBytes returns the byte size of one block of this layout.
+func (l *Layout) SizeBytes() int { return l.Elems() * l.Type.Size() }
+
+// Variable is one named quantity the simulation shares.
+type Variable struct {
+	Name   string
+	Layout *Layout
+	Mesh   string // optional mesh name
+	Unit   string
+	// Centering is "nodal" or "zonal" (visualization hint).
+	Centering string
+}
+
+// Mesh describes the grid variables live on.
+type Mesh struct {
+	Name     string
+	MeshType string // "rectilinear", "uniform", ...
+	Origin   []float64
+	Spacing  []float64
+}
+
+// PluginSpec binds a named action to an event.
+type PluginSpec struct {
+	Name   string // registered action name
+	Event  string // "end_iteration" or a custom signal name
+	Config map[string]string
+}
+
+// xml wire structures
+
+type xmlRoot struct {
+	XMLName      xml.Name    `xml:"simulation"`
+	Name         string      `xml:"name,attr"`
+	Architecture xmlArch     `xml:"architecture"`
+	Data         xmlData     `xml:"data"`
+	Plugins      []xmlPlugin `xml:"plugins>plugin"`
+}
+
+type xmlArch struct {
+	Dedicated struct {
+		Cores int `xml:"cores,attr"`
+	} `xml:"dedicated"`
+	Buffer struct {
+		Size int `xml:"size,attr"`
+	} `xml:"buffer"`
+	Queue struct {
+		Size int `xml:"size,attr"`
+	} `xml:"queue"`
+}
+
+type xmlData struct {
+	Parameters []xmlParam  `xml:"parameter"`
+	Layouts    []xmlLayout `xml:"layout"`
+	Variables  []xmlVar    `xml:"variable"`
+	Meshes     []xmlMesh   `xml:"mesh"`
+}
+
+type xmlParam struct {
+	Name  string `xml:"name,attr"`
+	Value int    `xml:"value,attr"`
+}
+
+type xmlLayout struct {
+	Name       string `xml:"name,attr"`
+	Type       string `xml:"type,attr"`
+	Dimensions string `xml:"dimensions,attr"`
+}
+
+type xmlVar struct {
+	Name      string `xml:"name,attr"`
+	Layout    string `xml:"layout,attr"`
+	Mesh      string `xml:"mesh,attr"`
+	Unit      string `xml:"unit,attr"`
+	Centering string `xml:"centering,attr"`
+}
+
+type xmlMesh struct {
+	Name    string `xml:"name,attr"`
+	Type    string `xml:"type,attr"`
+	Origin  string `xml:"origin,attr"`
+	Spacing string `xml:"spacing,attr"`
+}
+
+type xmlPlugin struct {
+	Name   string     `xml:"name,attr"`
+	Event  string     `xml:"event,attr"`
+	Fields []xml.Attr `xml:",any,attr"`
+}
+
+// Parse reads a Damaris XML configuration.
+func Parse(r io.Reader) (*Config, error) {
+	var root xmlRoot
+	if err := xml.NewDecoder(r).Decode(&root); err != nil {
+		return nil, fmt.Errorf("meta: %w", err)
+	}
+	cfg := &Config{
+		Name: root.Name,
+		Architecture: Architecture{
+			DedicatedCores: root.Architecture.Dedicated.Cores,
+			BufferSize:     root.Architecture.Buffer.Size,
+			QueueSize:      root.Architecture.Queue.Size,
+		},
+		Parameters: map[string]int{},
+		Layouts:    map[string]*Layout{},
+		Variables:  map[string]*Variable{},
+		Meshes:     map[string]*Mesh{},
+	}
+	if cfg.Architecture.DedicatedCores <= 0 {
+		cfg.Architecture.DedicatedCores = 1
+	}
+	if cfg.Architecture.BufferSize <= 0 {
+		cfg.Architecture.BufferSize = 64 << 20
+	}
+	if cfg.Architecture.QueueSize <= 0 {
+		cfg.Architecture.QueueSize = 256
+	}
+	for _, p := range root.Data.Parameters {
+		cfg.Parameters[p.Name] = p.Value
+	}
+	for _, l := range root.Data.Layouts {
+		dims, err := cfg.resolveDims(l.Dimensions)
+		if err != nil {
+			return nil, fmt.Errorf("meta: layout %q: %w", l.Name, err)
+		}
+		typ := Type(l.Type)
+		if !typ.Valid() {
+			return nil, fmt.Errorf("meta: layout %q: unknown type %q", l.Name, l.Type)
+		}
+		cfg.Layouts[l.Name] = &Layout{Name: l.Name, Type: typ, Dims: dims}
+	}
+	for _, m := range root.Data.Meshes {
+		origin, err := parseFloats(m.Origin)
+		if err != nil {
+			return nil, fmt.Errorf("meta: mesh %q origin: %w", m.Name, err)
+		}
+		spacing, err := parseFloats(m.Spacing)
+		if err != nil {
+			return nil, fmt.Errorf("meta: mesh %q spacing: %w", m.Name, err)
+		}
+		cfg.Meshes[m.Name] = &Mesh{Name: m.Name, MeshType: m.Type, Origin: origin, Spacing: spacing}
+	}
+	for _, v := range root.Data.Variables {
+		layout, ok := cfg.Layouts[v.Layout]
+		if !ok {
+			return nil, fmt.Errorf("meta: variable %q references unknown layout %q", v.Name, v.Layout)
+		}
+		if v.Mesh != "" {
+			if _, ok := cfg.Meshes[v.Mesh]; !ok {
+				return nil, fmt.Errorf("meta: variable %q references unknown mesh %q", v.Name, v.Mesh)
+			}
+		}
+		cfg.Variables[v.Name] = &Variable{
+			Name: v.Name, Layout: layout, Mesh: v.Mesh, Unit: v.Unit, Centering: v.Centering,
+		}
+		cfg.varOrder = append(cfg.varOrder, v.Name)
+	}
+	for _, p := range root.Plugins {
+		spec := PluginSpec{Name: p.Name, Event: p.Event, Config: map[string]string{}}
+		for _, a := range p.Fields {
+			if a.Name.Local != "name" && a.Name.Local != "event" {
+				spec.Config[a.Name.Local] = a.Value
+			}
+		}
+		if spec.Event == "" {
+			spec.Event = "end_iteration"
+		}
+		cfg.Plugins = append(cfg.Plugins, spec)
+	}
+	return cfg, nil
+}
+
+// ParseString parses an XML configuration held in a string.
+func ParseString(s string) (*Config, error) { return Parse(strings.NewReader(s)) }
+
+// VariableNames returns the variables in declaration order.
+func (c *Config) VariableNames() []string {
+	return append([]string(nil), c.varOrder...)
+}
+
+// IterationBytes returns the total bytes one writer produces per
+// iteration if it writes every declared variable once.
+func (c *Config) IterationBytes() int {
+	total := 0
+	for _, name := range c.varOrder {
+		total += c.Variables[name].Layout.SizeBytes()
+	}
+	return total
+}
+
+// resolveDims parses a dimensions attribute like "nx,ny+1,4" where each
+// term is an integer, a parameter name, or parameter±integer /
+// parameter*integer.
+func (c *Config) resolveDims(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("empty dimensions")
+	}
+	parts := strings.Split(spec, ",")
+	dims := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := c.evalDim(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("non-positive dimension %q = %d", part, v)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
+}
+
+func (c *Config) evalDim(expr string) (int, error) {
+	for _, op := range []byte{'+', '-', '*'} {
+		if i := strings.IndexByte(expr, op); i > 0 {
+			lhs, err := c.evalDim(strings.TrimSpace(expr[:i]))
+			if err != nil {
+				return 0, err
+			}
+			rhs, err := c.evalDim(strings.TrimSpace(expr[i+1:]))
+			if err != nil {
+				return 0, err
+			}
+			switch op {
+			case '+':
+				return lhs + rhs, nil
+			case '-':
+				return lhs - rhs, nil
+			default:
+				return lhs * rhs, nil
+			}
+		}
+	}
+	if n, err := strconv.Atoi(expr); err == nil {
+		return n, nil
+	}
+	if v, ok := c.Parameters[expr]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("unknown dimension term %q", expr)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

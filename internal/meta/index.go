@@ -1,0 +1,109 @@
+package meta
+
+import (
+	"sort"
+	"sync"
+)
+
+// BlockRef is one indexed block: its identity plus an opaque handle to
+// the data (in practice a *shm.Block, kept opaque to avoid a dependency
+// from the description layer onto the memory layer).
+type BlockRef struct {
+	Key  BlockKey
+	Size int
+	Data interface{}
+}
+
+// Index is the thread-safe metadata structure through which dedicated
+// cores search for the blocks written by simulation cores (§III.B: "all
+// data blocks are indexed in a metadata structure").
+type Index struct {
+	mu     sync.RWMutex
+	blocks map[BlockKey]BlockRef
+}
+
+// NewIndex creates an empty block index.
+func NewIndex() *Index {
+	return &Index{blocks: make(map[BlockKey]BlockRef)}
+}
+
+// Put registers a block. A block with the same key replaces the previous
+// one and the old ref is returned so the caller can release its storage.
+func (ix *Index) Put(ref BlockRef) (old BlockRef, replaced bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	old, replaced = ix.blocks[ref.Key]
+	ix.blocks[ref.Key] = ref
+	return old, replaced
+}
+
+// Get returns the block with the given key.
+func (ix *Index) Get(key BlockKey) (BlockRef, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ref, ok := ix.blocks[key]
+	return ref, ok
+}
+
+// Len returns the number of indexed blocks.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.blocks)
+}
+
+// Iteration returns every block of the given iteration, sorted by
+// (variable, source) for deterministic consumption.
+func (ix *Index) Iteration(it int) []BlockRef {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []BlockRef
+	for k, ref := range ix.blocks {
+		if k.Iteration == it {
+			out = append(out, ref)
+		}
+	}
+	sortRefs(out)
+	return out
+}
+
+// Variable returns every block of one variable at one iteration, sorted
+// by source.
+func (ix *Index) Variable(name string, it int) []BlockRef {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []BlockRef
+	for k, ref := range ix.blocks {
+		if k.Iteration == it && k.Variable == name {
+			out = append(out, ref)
+		}
+	}
+	sortRefs(out)
+	return out
+}
+
+// RemoveIteration removes and returns all blocks of an iteration (the
+// garbage-collection step after a dedicated core has consumed them).
+func (ix *Index) RemoveIteration(it int) []BlockRef {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var out []BlockRef
+	for k, ref := range ix.blocks {
+		if k.Iteration == it {
+			out = append(out, ref)
+			delete(ix.blocks, k)
+		}
+	}
+	sortRefs(out)
+	return out
+}
+
+func sortRefs(refs []BlockRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		a, b := refs[i].Key, refs[j].Key
+		if a.Variable != b.Variable {
+			return a.Variable < b.Variable
+		}
+		return a.Source < b.Source
+	})
+}

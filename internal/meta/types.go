@@ -1,0 +1,51 @@
+// Package meta implements the high-level data description at the center
+// of the Damaris design (§III.A): an external XML file describes the
+// variables a simulation shares — their types, layouts (dimensions
+// parameterized by named values), meshes — and the plugins that consume
+// them. It also provides the metadata index through which dedicated cores
+// find the blocks written by simulation cores (§III.B).
+package meta
+
+import "fmt"
+
+// Type is the element type of a variable.
+type Type string
+
+// Supported element types.
+const (
+	Float32 Type = "float32"
+	Float64 Type = "float64"
+	Int32   Type = "int32"
+	Int64   Type = "int64"
+	Uint8   Type = "uint8"
+)
+
+// Size returns the byte size of one element, or 0 for an unknown type.
+func (t Type) Size() int {
+	switch t {
+	case Float32, Int32:
+		return 4
+	case Float64, Int64:
+		return 8
+	case Uint8:
+		return 1
+	}
+	return 0
+}
+
+// Valid reports whether t names a supported type.
+func (t Type) Valid() bool { return t.Size() != 0 }
+
+// BlockKey identifies one block of data in the metadata index, following
+// §III.B: "blocks are identified by a block identifier, the writer's
+// process identifier, and the associated time step".
+type BlockKey struct {
+	Variable  string
+	Source    int // writer identifier (rank or core index)
+	Iteration int
+}
+
+// String renders the key as variable/itNNNN/srcNNNN.
+func (k BlockKey) String() string {
+	return fmt.Sprintf("%s/it%04d/src%04d", k.Variable, k.Iteration, k.Source)
+}

@@ -1,0 +1,377 @@
+// Package mpi is an in-process message-passing runtime with MPI
+// semantics: ranks are goroutines, communicators provide tagged
+// point-to-point messaging and the collectives the baselines and proxy
+// applications need (Barrier, Bcast, Gather, Reduce, Allreduce,
+// Alltoall), plus communicator splitting for node-local groups.
+//
+// It stands in for the MPI ecosystem the paper's middleware runs on
+// (substitution documented in DESIGN.md): the synchronization structure
+// and data movement of the algorithms are preserved; the transport is
+// shared memory instead of a network.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// AnySource matches a message from any rank in Recv.
+const AnySource = -1
+
+// Comm is a communicator: a group of ranks that can exchange messages.
+// Each rank holds its own *Comm handle; handles must not be shared
+// between ranks.
+type Comm struct {
+	rank  int
+	world *group
+}
+
+// group is the shared state of one communicator.
+type group struct {
+	size  int
+	boxes []*mailbox
+	bar   *barrier
+	coll  *collectiveState
+}
+
+type message struct {
+	src, tag int
+	data     []byte
+}
+
+// mailbox matches incoming messages against (source, tag) queries.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.pending = append(m.pending, msg)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) get(src, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.pending {
+			if (src == AnySource || msg.src == src) && msg.tag == tag {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// barrier is a reusable sense-reversing barrier.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	gen     int
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}
+
+// collectiveState carries per-collective scratch space (split, gather).
+type collectiveState struct {
+	mu    sync.Mutex
+	slots map[string][]interface{}
+}
+
+func newGroup(size int) *group {
+	g := &group{
+		size:  size,
+		boxes: make([]*mailbox, size),
+		bar:   newBarrier(size),
+		coll:  &collectiveState{slots: map[string][]interface{}{}},
+	}
+	for i := range g.boxes {
+		g.boxes[i] = newMailbox()
+	}
+	return g
+}
+
+// Run starts an n-rank world and executes body once per rank in its own
+// goroutine, returning when every rank has finished.
+func Run(n int, body func(c *Comm)) {
+	if n <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	g := newGroup(n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			body(&Comm{rank: rank, world: g})
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Rank returns this rank's index within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers data to rank dst with the given tag. The payload is
+// copied, so the caller may reuse its buffer immediately (MPI buffered-
+// send semantics).
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", dst, c.world.size))
+	}
+	buf := append([]byte(nil), data...)
+	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: buf})
+}
+
+// Recv blocks until a message with the given tag arrives from src
+// (or from anyone if src == AnySource) and returns its payload and
+// origin.
+func (c *Comm) Recv(src, tag int) ([]byte, int) {
+	msg := c.world.boxes[c.rank].get(src, tag)
+	return msg.data, msg.src
+}
+
+// Barrier blocks until every rank of the communicator has arrived.
+func (c *Comm) Barrier() { c.world.bar.await() }
+
+// internal tags for collectives, kept clear of user tags by the offset.
+const (
+	tagBcast = 1 << 28
+	tagGath  = 2 << 28
+	tagAll   = 3 << 28
+)
+
+// Bcast distributes root's buffer to every rank and returns it.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	if c.rank == root {
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.Send(r, tagBcast, data)
+			}
+		}
+		return append([]byte(nil), data...)
+	}
+	out, _ := c.Recv(root, tagBcast)
+	return out
+}
+
+// Gather collects each rank's buffer at root; root receives a slice
+// indexed by rank, others receive nil.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	if c.rank != root {
+		c.Send(root, tagGath, data)
+		return nil
+	}
+	out := make([][]byte, c.world.size)
+	out[root] = append([]byte(nil), data...)
+	// Receive from each source explicitly: per-(src, tag) FIFO ordering
+	// keeps back-to-back collectives from stealing each other's messages.
+	for r := 0; r < c.world.size; r++ {
+		if r == root {
+			continue
+		}
+		msg := c.world.boxes[c.rank].get(r, tagGath)
+		out[r] = msg.data
+	}
+	return out
+}
+
+// Op is a reduction operator.
+type Op func(a, b float64) float64
+
+// Builtin reduction operators.
+var (
+	Sum Op = func(a, b float64) float64 { return a + b }
+	Max Op = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	Min Op = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Reduce combines one float64 per rank at root; root gets the result,
+// other ranks get 0.
+func (c *Comm) Reduce(root int, op Op, v float64) float64 {
+	parts := c.Gather(root, f64bytes(v))
+	if c.rank != root {
+		return 0
+	}
+	acc := bytesF64(parts[0])
+	for _, p := range parts[1:] {
+		acc = op(acc, bytesF64(p))
+	}
+	return acc
+}
+
+// Allreduce combines one float64 per rank and returns the result on
+// every rank.
+func (c *Comm) Allreduce(op Op, v float64) float64 {
+	res := c.Reduce(0, op, v)
+	out := c.Bcast(0, f64bytes(res))
+	return bytesF64(out)
+}
+
+// Alltoall sends bufs[r] to rank r and returns the buffers received,
+// indexed by source rank. len(bufs) must equal Size.
+func (c *Comm) Alltoall(bufs [][]byte) [][]byte {
+	if len(bufs) != c.world.size {
+		panic(fmt.Sprintf("mpi: Alltoall with %d buffers in a %d-rank comm", len(bufs), c.world.size))
+	}
+	for r, b := range bufs {
+		if r == c.rank {
+			continue
+		}
+		c.Send(r, tagAll+c.rank, b)
+	}
+	out := make([][]byte, c.world.size)
+	out[c.rank] = append([]byte(nil), bufs[c.rank]...)
+	for r := 0; r < c.world.size; r++ {
+		if r == c.rank {
+			continue
+		}
+		msg, _ := c.Recv(r, tagAll+r)
+		out[r] = msg
+	}
+	return out
+}
+
+// Split partitions the communicator by color, ordering ranks within each
+// new communicator by (key, old rank) as MPI_Comm_split does. Every rank
+// of the communicator must call Split.
+func (c *Comm) Split(color, key int) *Comm {
+	type entry struct{ color, key, rank int }
+	slot := c.collectAll("split", entry{color: color, key: key, rank: c.rank})
+	// Deterministic membership: all ranks compute the same grouping.
+	var members []entry
+	for _, v := range slot {
+		e := v.(entry)
+		if e.color == color {
+			members = append(members, e)
+		}
+	}
+	// Insertion sort by (key, rank): groups are small.
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0; j-- {
+			a, b := members[j-1], members[j]
+			if a.key > b.key || (a.key == b.key && a.rank > b.rank) {
+				members[j-1], members[j] = members[j], members[j-1]
+			} else {
+				break
+			}
+		}
+	}
+	myIdx := -1
+	for i, e := range members {
+		if e.rank == c.rank {
+			myIdx = i
+		}
+	}
+	// One rank per (color) builds the shared group; use a keyed
+	// rendezvous so each member receives the same *group.
+	g := c.rendezvousGroup(fmt.Sprintf("split-group-%d", color), len(members), myIdx)
+	return &Comm{rank: myIdx, world: g}
+}
+
+// collectAll gathers one value from every rank of the communicator and
+// returns the full set to each caller (a small all-gather over shared
+// state rather than messages; simpler and deadlock-free for metadata).
+func (c *Comm) collectAll(kind string, v interface{}) []interface{} {
+	st := c.world.coll
+	st.mu.Lock()
+	st.slots[kind] = append(st.slots[kind], v)
+	st.mu.Unlock()
+	c.Barrier() // all contributions in
+	st.mu.Lock()
+	out := append([]interface{}(nil), st.slots[kind]...)
+	st.mu.Unlock()
+	c.Barrier() // all copies taken
+	if c.rank == 0 {
+		st.mu.Lock()
+		delete(st.slots, kind)
+		st.mu.Unlock()
+	}
+	c.Barrier() // reset complete before anyone reuses the slot
+	return out
+}
+
+// rendezvousGroup returns a per-key shared group created once and handed
+// to all n members.
+func (c *Comm) rendezvousGroup(key string, n, myIdx int) *group {
+	st := c.world.coll
+	st.mu.Lock()
+	slotKey := "rv-" + key
+	if st.slots[slotKey] == nil {
+		st.slots[slotKey] = []interface{}{newGroup(n)}
+	}
+	g := st.slots[slotKey][0].(*group)
+	st.mu.Unlock()
+	c.Barrier()
+	// Cleanup after everyone has the pointer.
+	if myIdx == 0 {
+		st.mu.Lock()
+		delete(st.slots, slotKey)
+		st.mu.Unlock()
+	}
+	c.Barrier()
+	return g
+}
+
+func f64bytes(v float64) []byte {
+	var b [8]byte
+	u := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	return b[:]
+}
+
+func bytesF64(b []byte) float64 {
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return math.Float64frombits(u)
+}

@@ -1,0 +1,290 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendRecv(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 42, []byte("ping"))
+			data, src := c.Recv(1, 43)
+			if string(data) != "pong" || src != 1 {
+				t.Errorf("rank 0 got %q from %d", data, src)
+			}
+		} else {
+			data, src := c.Recv(0, 42)
+			if string(data) != "ping" || src != 0 {
+				t.Errorf("rank 1 got %q from %d", data, src)
+			}
+			c.Send(0, 43, []byte("pong"))
+		}
+	})
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []byte("aaaa")
+			c.Send(1, 1, buf)
+			copy(buf, "bbbb") // mutate after send
+			c.Barrier()
+		} else {
+			c.Barrier()
+			data, _ := c.Recv(0, 1)
+			if string(data) != "aaaa" {
+				t.Errorf("send did not copy: got %q", data)
+			}
+		}
+	})
+}
+
+func TestTagMatching(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("seven"))
+			c.Send(1, 5, []byte("five"))
+		} else {
+			// Receive out of order by tag.
+			five, _ := c.Recv(0, 5)
+			seven, _ := c.Recv(0, 7)
+			if string(five) != "five" || string(seven) != "seven" {
+				t.Errorf("tag matching failed: %q %q", five, seven)
+			}
+		}
+	})
+}
+
+func TestAnySource(t *testing.T) {
+	Run(4, func(c *Comm) {
+		if c.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				_, src := c.Recv(AnySource, 9)
+				seen[src] = true
+			}
+			if len(seen) != 3 {
+				t.Errorf("AnySource saw %v", seen)
+			}
+		} else {
+			c.Send(0, 9, []byte{byte(c.Rank())})
+		}
+	})
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	var before, after int32
+	Run(8, func(c *Comm) {
+		atomic.AddInt32(&before, 1)
+		c.Barrier()
+		if atomic.LoadInt32(&before) != 8 {
+			t.Error("rank passed barrier before all arrived")
+		}
+		atomic.AddInt32(&after, 1)
+	})
+	if after != 8 {
+		t.Fatal("not all ranks passed")
+	}
+}
+
+func TestBcast(t *testing.T) {
+	Run(5, func(c *Comm) {
+		var data []byte
+		if c.Rank() == 2 {
+			data = []byte("payload")
+		}
+		got := c.Bcast(2, data)
+		if string(got) != "payload" {
+			t.Errorf("rank %d got %q", c.Rank(), got)
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	Run(4, func(c *Comm) {
+		out := c.Gather(0, []byte{byte('a' + c.Rank())})
+		if c.Rank() == 0 {
+			for r := 0; r < 4; r++ {
+				if len(out[r]) != 1 || out[r][0] != byte('a'+r) {
+					t.Errorf("gathered[%d] = %q", r, out[r])
+				}
+			}
+		} else if out != nil {
+			t.Error("non-root received data")
+		}
+	})
+}
+
+func TestReduceMatchesSequential(t *testing.T) {
+	const n = 7
+	Run(n, func(c *Comm) {
+		v := float64(c.Rank() + 1)
+		sum := c.Reduce(0, Sum, v)
+		if c.Rank() == 0 && sum != n*(n+1)/2 {
+			t.Errorf("sum = %v", sum)
+		}
+		max := c.Allreduce(Max, v)
+		if max != n {
+			t.Errorf("rank %d allreduce max = %v", c.Rank(), max)
+		}
+		min := c.Allreduce(Min, v)
+		if min != 1 {
+			t.Errorf("rank %d allreduce min = %v", c.Rank(), min)
+		}
+	})
+}
+
+func TestReducePropertySumEqualsSequential(t *testing.T) {
+	if err := quick.Check(func(vals []float64) bool {
+		if len(vals) == 0 || len(vals) > 32 {
+			return true
+		}
+		for _, v := range vals {
+			if v != v { // NaN breaks == comparison, not the runtime
+				return true
+			}
+		}
+		want := 0.0
+		for _, v := range vals {
+			want += v
+		}
+		var got float64
+		Run(len(vals), func(c *Comm) {
+			s := c.Reduce(0, Sum, vals[c.Rank()])
+			if c.Rank() == 0 {
+				got = s
+			}
+		})
+		// Addition order matches rank order, so results are identical,
+		// not merely close.
+		return got == want
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	Run(n, func(c *Comm) {
+		bufs := make([][]byte, n)
+		for r := range bufs {
+			bufs[r] = []byte{byte(c.Rank()), byte(r)}
+		}
+		out := c.Alltoall(bufs)
+		for r := 0; r < n; r++ {
+			want := []byte{byte(r), byte(c.Rank())}
+			if !bytes.Equal(out[r], want) {
+				t.Errorf("rank %d from %d: got %v want %v", c.Rank(), r, out[r], want)
+			}
+		}
+	})
+}
+
+func TestSplitNodeComms(t *testing.T) {
+	// 12 ranks, 3 "nodes" of 4: split by node id, key by rank.
+	Run(12, func(c *Comm) {
+		node := c.Rank() / 4
+		local := c.Split(node, c.Rank())
+		if local.Size() != 4 {
+			t.Errorf("local size = %d", local.Size())
+		}
+		if want := c.Rank() % 4; local.Rank() != want {
+			t.Errorf("global %d local rank = %d want %d", c.Rank(), local.Rank(), want)
+		}
+		// The split communicator must work for collectives.
+		sum := local.Allreduce(Sum, 1)
+		if sum != 4 {
+			t.Errorf("local allreduce = %v", sum)
+		}
+		// And for point-to-point.
+		if local.Rank() == 0 {
+			local.Send(1, 3, []byte{byte(node)})
+		} else if local.Rank() == 1 {
+			data, _ := local.Recv(0, 3)
+			if data[0] != byte(node) {
+				t.Errorf("wrong node payload")
+			}
+		}
+	})
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	// Reverse keys: highest global rank gets local rank 0.
+	Run(4, func(c *Comm) {
+		local := c.Split(0, -c.Rank())
+		if want := 3 - c.Rank(); local.Rank() != want {
+			t.Errorf("global %d local = %d want %d", c.Rank(), local.Rank(), want)
+		}
+	})
+}
+
+func TestRepeatedCollectives(t *testing.T) {
+	// Exercise slot reuse across many back-to-back collectives.
+	Run(6, func(c *Comm) {
+		for i := 0; i < 20; i++ {
+			v := c.Allreduce(Sum, 1)
+			if v != 6 {
+				t.Errorf("round %d: %v", i, v)
+				return
+			}
+		}
+		for i := 0; i < 5; i++ {
+			sub := c.Split(c.Rank()%2, c.Rank())
+			if sub.Size() != 3 {
+				t.Errorf("split round %d size %d", i, sub.Size())
+				return
+			}
+		}
+	})
+}
+
+func TestHaloExchangePattern(t *testing.T) {
+	// The CM1 proxy's communication pattern: each rank exchanges a halo
+	// with left/right neighbors in a ring.
+	const n = 6
+	Run(n, func(c *Comm) {
+		left := (c.Rank() + n - 1) % n
+		right := (c.Rank() + 1) % n
+		var me [8]byte
+		binary.LittleEndian.PutUint64(me[:], uint64(c.Rank()))
+		c.Send(right, 100, me[:])
+		c.Send(left, 101, me[:])
+		fromLeft, _ := c.Recv(left, 100)
+		fromRight, _ := c.Recv(right, 101)
+		if binary.LittleEndian.Uint64(fromLeft) != uint64(left) {
+			t.Errorf("rank %d left halo wrong", c.Rank())
+		}
+		if binary.LittleEndian.Uint64(fromRight) != uint64(right) {
+			t.Errorf("rank %d right halo wrong", c.Rank())
+		}
+	})
+}
+
+func BenchmarkSendRecvLatency(b *testing.B) {
+	Run(2, func(c *Comm) {
+		msg := make([]byte, 64)
+		if c.Rank() == 0 {
+			for i := 0; i < b.N; i++ {
+				c.Send(1, 1, msg)
+				c.Recv(1, 2)
+			}
+		} else {
+			for i := 0; i < b.N; i++ {
+				c.Recv(0, 1)
+				c.Send(0, 2, msg)
+			}
+		}
+	})
+}
+
+func BenchmarkAllreduce(b *testing.B) {
+	Run(8, func(c *Comm) {
+		for i := 0; i < b.N; i++ {
+			c.Allreduce(Sum, 1)
+		}
+	})
+}

@@ -1,0 +1,198 @@
+// Package nek is a proxy for the Nek5000 CFD solver used in the paper's
+// in-situ evaluation (§V.C): a 3-D lid-driven cavity flow advanced by
+// explicit viscous diffusion plus a Chorin-style projection step (Jacobi
+// pressure solve, velocity correction). It produces the velocity and
+// pressure fields the visualization pipeline consumes.
+package nek
+
+import (
+	"fmt"
+
+	"repro/internal/insitu"
+)
+
+// Params configures the cavity.
+type Params struct {
+	// N is the cubic grid edge length.
+	N int
+	// Nu is the kinematic viscosity, DT the time step.
+	Nu, DT float64
+	// LidSpeed is the tangential velocity of the moving (top) wall.
+	LidSpeed float64
+	// PressureIters is the number of Jacobi sweeps per step.
+	PressureIters int
+}
+
+// DefaultParams returns a stable small cavity.
+func DefaultParams() Params {
+	return Params{N: 16, Nu: 0.05, DT: 0.05, LidSpeed: 1, PressureIters: 20}
+}
+
+// Validate checks stability constraints.
+func (p Params) Validate() error {
+	if p.N < 4 {
+		return fmt.Errorf("nek: grid %d too small", p.N)
+	}
+	if p.DT <= 0 || p.Nu < 0 {
+		return fmt.Errorf("nek: non-positive DT or negative Nu")
+	}
+	if 6*p.Nu*p.DT >= 1 {
+		return fmt.Errorf("nek: diffusion number %v unstable", 6*p.Nu*p.DT)
+	}
+	if p.PressureIters < 1 {
+		return fmt.Errorf("nek: need at least one pressure iteration")
+	}
+	return nil
+}
+
+// Solver holds the cavity state.
+type Solver struct {
+	P          Params
+	u, v, w, p insitu.Field
+	scratch    []float64
+	step       int
+}
+
+// New initializes a quiescent cavity.
+func New(p Params) (*Solver, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N
+	return &Solver{
+		P:       p,
+		u:       insitu.NewField("u", n, n, n),
+		v:       insitu.NewField("v", n, n, n),
+		w:       insitu.NewField("w", n, n, n),
+		p:       insitu.NewField("p", n, n, n),
+		scratch: make([]float64, n*n*n),
+	}, nil
+}
+
+// Step advances the flow: lid BC, viscous diffusion, pressure
+// projection.
+func (s *Solver) Step() {
+	s.applyLid()
+	s.diffuse(&s.u)
+	s.diffuse(&s.v)
+	s.diffuse(&s.w)
+	s.project()
+	s.step++
+}
+
+// Iteration returns the completed step count.
+func (s *Solver) Iteration() int { return s.step }
+
+// applyLid drives the top plane (k = N-1) tangentially and pins the
+// other walls to zero.
+func (s *Solver) applyLid() {
+	n := s.P.N
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			s.u.Set(n-1, j, i, s.P.LidSpeed)
+			s.u.Set(0, j, i, 0)
+			s.v.Set(n-1, j, i, 0)
+			s.v.Set(0, j, i, 0)
+			s.w.Set(n-1, j, i, 0)
+			s.w.Set(0, j, i, 0)
+		}
+	}
+}
+
+// clampAt reads f with walls clamped (no-slip boundaries).
+func clampAt(f *insitu.Field, n, k, j, i int) float64 {
+	if k < 0 || k >= n || j < 0 || j >= n || i < 0 || i >= n {
+		return 0
+	}
+	return f.At(k, j, i)
+}
+
+// diffuse applies one explicit viscous step to a velocity component.
+func (s *Solver) diffuse(f *insitu.Field) {
+	n := s.P.N
+	c := s.P.Nu * s.P.DT
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				v := f.At(k, j, i)
+				lap := clampAt(f, n, k-1, j, i) + clampAt(f, n, k+1, j, i) +
+					clampAt(f, n, k, j-1, i) + clampAt(f, n, k, j+1, i) +
+					clampAt(f, n, k, j, i-1) + clampAt(f, n, k, j, i+1) - 6*v
+				s.scratch[(k*n+j)*n+i] = v + c*lap
+			}
+		}
+	}
+	copy(f.Data, s.scratch)
+}
+
+// divergence computes ∇·u with central differences into dst.
+func (s *Solver) divergence(dst []float64) {
+	n := s.P.N
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				du := clampAt(&s.u, n, k, j, i+1) - clampAt(&s.u, n, k, j, i-1)
+				dv := clampAt(&s.v, n, k, j+1, i) - clampAt(&s.v, n, k, j-1, i)
+				dw := clampAt(&s.w, n, k+1, j, i) - clampAt(&s.w, n, k-1, j, i)
+				dst[(k*n+j)*n+i] = 0.5 * (du + dv + dw)
+			}
+		}
+	}
+}
+
+// project solves ∇²p = ∇·u by Jacobi iteration and corrects the
+// velocity, making the field (approximately) divergence free.
+func (s *Solver) project() {
+	n := s.P.N
+	div := make([]float64, n*n*n)
+	s.divergence(div)
+	for it := 0; it < s.P.PressureIters; it++ {
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					sum := clampAt(&s.p, n, k-1, j, i) + clampAt(&s.p, n, k+1, j, i) +
+						clampAt(&s.p, n, k, j-1, i) + clampAt(&s.p, n, k, j+1, i) +
+						clampAt(&s.p, n, k, j, i-1) + clampAt(&s.p, n, k, j, i+1)
+					s.scratch[(k*n+j)*n+i] = (sum - div[(k*n+j)*n+i]) / 6
+				}
+			}
+		}
+		copy(s.p.Data, s.scratch)
+	}
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				idx := (k*n+j)*n + i
+				s.u.Data[idx] -= 0.5 * (clampAt(&s.p, n, k, j, i+1) - clampAt(&s.p, n, k, j, i-1))
+				s.v.Data[idx] -= 0.5 * (clampAt(&s.p, n, k, j+1, i) - clampAt(&s.p, n, k, j-1, i))
+				s.w.Data[idx] -= 0.5 * (clampAt(&s.p, n, k+1, j, i) - clampAt(&s.p, n, k-1, j, i))
+			}
+		}
+	}
+}
+
+// Fields returns the output variables in a stable order.
+func (s *Solver) Fields() []insitu.Field {
+	return []insitu.Field{s.u, s.v, s.w, s.p}
+}
+
+// KineticEnergy returns ½ Σ |u|².
+func (s *Solver) KineticEnergy() float64 {
+	e := 0.0
+	for idx := range s.u.Data {
+		e += s.u.Data[idx]*s.u.Data[idx] + s.v.Data[idx]*s.v.Data[idx] + s.w.Data[idx]*s.w.Data[idx]
+	}
+	return e / 2
+}
+
+// DivergenceNorm returns the L2 norm of ∇·u (projection quality).
+func (s *Solver) DivergenceNorm() float64 {
+	n := s.P.N
+	div := make([]float64, n*n*n)
+	s.divergence(div)
+	sum := 0.0
+	for _, d := range div {
+		sum += d * d
+	}
+	return sum
+}

@@ -1,0 +1,119 @@
+package nek
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams()
+	bad.Nu, bad.DT = 10, 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unstable params accepted")
+	}
+	small := DefaultParams()
+	small.N = 2
+	if err := small.Validate(); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+}
+
+func TestLidDrivesFlow(t *testing.T) {
+	s, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.KineticEnergy() != 0 {
+		t.Fatal("cavity not quiescent at start")
+	}
+	for i := 0; i < 10; i++ {
+		s.Step()
+	}
+	if s.KineticEnergy() <= 0 {
+		t.Fatal("lid did not inject energy")
+	}
+	// The flow is strongest near the lid and weaker near the bottom.
+	n := s.P.N
+	topSpeed := math.Abs(s.u.At(n-2, n/2, n/2))
+	bottomSpeed := math.Abs(s.u.At(1, n/2, n/2))
+	if topSpeed <= bottomSpeed {
+		t.Fatalf("no vertical shear: top %v bottom %v", topSpeed, bottomSpeed)
+	}
+}
+
+func TestEnergyBounded(t *testing.T) {
+	s, _ := New(DefaultParams())
+	var prev float64
+	for i := 0; i < 100; i++ {
+		s.Step()
+		e := s.KineticEnergy()
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Fatalf("solver blew up at step %d", i)
+		}
+		prev = e
+	}
+	// The lid supplies bounded energy: far below the all-cells-at-lid-speed bound.
+	n := float64(s.P.N)
+	if prev > n*n*n {
+		t.Fatalf("energy %v implausibly high", prev)
+	}
+	if s.Iteration() != 100 {
+		t.Fatalf("iteration = %d", s.Iteration())
+	}
+}
+
+func TestProjectionReducesDivergence(t *testing.T) {
+	// With more pressure iterations the projected field must be closer
+	// to divergence-free.
+	norm := func(iters int) float64 {
+		p := DefaultParams()
+		p.PressureIters = iters
+		s, _ := New(p)
+		for i := 0; i < 20; i++ {
+			s.Step()
+		}
+		return s.DivergenceNorm()
+	}
+	loose, tight := norm(2), norm(40)
+	if tight >= loose {
+		t.Fatalf("divergence with 40 iters (%v) not below 2 iters (%v)", tight, loose)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		s, _ := New(DefaultParams())
+		for i := 0; i < 30; i++ {
+			s.Step()
+		}
+		return s.KineticEnergy()
+	}
+	if run() != run() {
+		t.Fatal("solver not deterministic")
+	}
+}
+
+func TestFields(t *testing.T) {
+	s, _ := New(DefaultParams())
+	fs := s.Fields()
+	if len(fs) != 4 || fs[0].Name != "u" || fs[3].Name != "p" {
+		t.Fatalf("fields = %v", fs)
+	}
+	for _, f := range fs {
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	p := DefaultParams()
+	p.N = 24
+	s, _ := New(p)
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

@@ -1,0 +1,395 @@
+// Package pfs models a Lustre-like parallel file system as a discrete-
+// event system: a single metadata server (MDS) serializing namespace
+// operations, and a set of object storage targets (OSTs) serving
+// concurrent write streams under processor sharing with pattern-dependent
+// efficiency.
+//
+// The model reproduces the three I/O regimes of the paper's evaluation:
+//
+//   - file-per-process: one small file per rank → metadata storm at the
+//     MDS and dozens of interleaved streams per OST (Pattern SmallFile);
+//   - collective I/O: one shared file → extent-lock serialization collapses
+//     per-OST efficiency (Pattern SharedFile), and barriered rounds let
+//     stragglers dominate;
+//   - dedicated cores (Damaris): one big sequential file per node → few
+//     high-efficiency streams per OST (Pattern BigSequential).
+//
+// Per-request jitter (log-normal body, Pareto tail) and per-phase per-OST
+// congestion factors model the variability the paper attributes to the
+// shared storage system.
+package pfs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Pattern classifies a write stream's access pattern, which determines how
+// efficiently an OST serves it under concurrency.
+type Pattern int
+
+const (
+	// BigSequential is a large contiguous stream into its own file.
+	BigSequential Pattern = iota
+	// SmallFile is a per-process file written in small chunks.
+	SmallFile
+	// SharedFile is a write into a file shared with other clients,
+	// subject to extent-lock serialization.
+	SharedFile
+)
+
+// String returns the pattern name.
+func (p Pattern) String() string {
+	switch p {
+	case BigSequential:
+		return "big-sequential"
+	case SmallFile:
+		return "small-file"
+	case SharedFile:
+		return "shared-file"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// FS is a simulated parallel file system bound to a DES engine.
+type FS struct {
+	eng    *des.Engine
+	params topology.PFSParams
+	mds    *des.Resource
+	osts   []*ost
+
+	totalBytes float64
+	mdsOps     int
+
+	// Union-of-activity accounting: time during which at least one
+	// transfer was in flight anywhere on the file system.
+	activeTransfers int
+	busySince       float64
+	busyTotal       float64
+}
+
+// New creates a file system model. The rng stream seeds per-OST jitter
+// streams; New does not retain it.
+func New(eng *des.Engine, params topology.PFSParams, r *rng.Stream) *FS {
+	fs := &FS{
+		eng:    eng,
+		params: params,
+		mds:    eng.NewResource(1),
+		osts:   make([]*ost, params.OSTs),
+	}
+	for i := range fs.osts {
+		fs.osts[i] = &ost{
+			fs:         fs,
+			id:         i,
+			rng:        r.Child(uint64(i)),
+			congestion: 1,
+		}
+	}
+	return fs
+}
+
+// OSTCount returns the number of OSTs.
+func (fs *FS) OSTCount() int { return len(fs.osts) }
+
+// TotalBytes returns the number of bytes written so far (completed
+// transfers only).
+func (fs *FS) TotalBytes() float64 { return fs.totalBytes }
+
+// MDSOps returns the number of metadata operations served.
+func (fs *FS) MDSOps() int { return fs.mdsOps }
+
+// MDSQueueLen returns the number of requests waiting at the MDS.
+func (fs *FS) MDSQueueLen() int { return fs.mds.QueueLen() }
+
+// BeginPhase draws fresh per-OST congestion factors, modeling interference
+// from other applications sharing the storage system during this I/O
+// phase. Call it once per application I/O phase.
+func (fs *FS) BeginPhase() {
+	for _, o := range fs.osts {
+		o.advance()
+		if fs.params.CongestionSigma > 0 {
+			o.congestion = 1 / o.rng.UnitLogNormal(fs.params.CongestionSigma)
+			if o.congestion > 1 {
+				// Congestion only hurts: cap the lucky draws at nominal.
+				o.congestion = 1
+			}
+		}
+		o.recompute()
+	}
+}
+
+// metaOp serializes one metadata operation of the given service time at
+// the MDS.
+func (fs *FS) metaOp(p *des.Proc, service float64) {
+	p.Acquire(fs.mds, 1)
+	fs.mdsOps++
+	p.Wait(service)
+	fs.mds.Release(1)
+}
+
+// Create performs a file-create at the MDS (blocking).
+func (fs *FS) Create(p *des.Proc) { fs.metaOp(p, fs.params.MDSCreate) }
+
+// Open performs a file-open at the MDS (blocking).
+func (fs *FS) Open(p *des.Proc) { fs.metaOp(p, fs.params.MDSOpen) }
+
+// Close performs a file-close at the MDS (blocking).
+func (fs *FS) Close(p *des.Proc) { fs.metaOp(p, fs.params.MDSClose) }
+
+// PlaceFile chooses stripeCount distinct OSTs for a new file, mimicking
+// Lustre's randomized allocator. The choice is drawn from r so placement
+// is reproducible per caller.
+func (fs *FS) PlaceFile(stripeCount int, r *rng.Stream) []int {
+	n := len(fs.osts)
+	if stripeCount >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	perm := r.Perm(n)
+	return perm[:stripeCount]
+}
+
+// WriteAsync submits a whole-file write of the given size and pattern to
+// one OST and returns a future completed when the transfer finishes. The
+// per-file overhead (object allocation, initial seeks) is charged once.
+func (fs *FS) WriteAsync(ostID int, bytes float64, pat Pattern) *des.Future {
+	return fs.submit(ostID, bytes, fs.params.FileOverhead, pat)
+}
+
+// WriteChunkAsync submits one chunk of an already-open file (e.g. one
+// two-phase round): no per-file overhead is charged.
+func (fs *FS) WriteChunkAsync(ostID int, bytes float64, pat Pattern) *des.Future {
+	return fs.submit(ostID, bytes, 0, pat)
+}
+
+func (fs *FS) submit(ostID int, bytes, fileOverhead float64, pat Pattern) *des.Future {
+	o := fs.osts[ostID]
+	f := fs.eng.NewFuture()
+	if bytes <= 0 {
+		f.Complete()
+		return f
+	}
+	jitter, straggle := o.drawJitter()
+	start := func() {
+		if fs.activeTransfers == 0 {
+			fs.busySince = fs.eng.Now()
+		}
+		fs.activeTransfers++
+		// The fixed per-file cost is expressed as byte-equivalents at
+		// peak rate, so it flows through the processor-sharing
+		// arithmetic (allocation under load is slower too).
+		overhead := fileOverhead * fs.params.OSTBandwidth
+		t := &transfer{
+			ost:       o,
+			remaining: bytes*jitter + overhead,
+			payload:   bytes,
+			pat:       pat,
+			future:    f,
+		}
+		o.advance()
+		o.active = append(o.active, t)
+		o.recompute()
+	}
+	if straggle > 0 {
+		// A straggler episode (stuck RPC, server hiccup) costs wall-clock
+		// time before the request is serviced, independent of the
+		// request's size or the OST's current load.
+		fs.eng.After(straggle, start)
+	} else {
+		start()
+	}
+	return f
+}
+
+// Write blocks the process until a whole-file write of the given size and
+// pattern to ostID completes.
+func (fs *FS) Write(p *des.Proc, ostID int, bytes float64, pat Pattern) {
+	p.Await(fs.WriteAsync(ostID, bytes, pat))
+}
+
+// WriteChunk blocks the process until a chunk write (no per-file
+// overhead) completes.
+func (fs *FS) WriteChunk(p *des.Proc, ostID int, bytes float64, pat Pattern) {
+	p.Await(fs.WriteChunkAsync(ostID, bytes, pat))
+}
+
+// WriteStriped writes bytes striped evenly over the given OSTs and blocks
+// until every stripe chunk completes.
+func (fs *FS) WriteStriped(p *des.Proc, osts []int, bytes float64, pat Pattern) {
+	if len(osts) == 0 {
+		panic("pfs: WriteStriped with no OSTs")
+	}
+	chunk := bytes / float64(len(osts))
+	futures := make([]*des.Future, len(osts))
+	for i, o := range osts {
+		futures[i] = fs.WriteAsync(o, chunk, pat)
+	}
+	for _, f := range futures {
+		p.Await(f)
+	}
+}
+
+// IOBusyTime returns the union of time during which at least one transfer
+// was in flight. BytesWritten / IOBusyTime is the achieved aggregate
+// throughput in the sense of the paper's §IV.C.
+func (fs *FS) IOBusyTime() float64 {
+	t := fs.busyTotal
+	if fs.activeTransfers > 0 {
+		t += fs.eng.Now() - fs.busySince
+	}
+	return t
+}
+
+// AggregateThroughput returns completed bytes divided by the elapsed
+// window, in bytes/s.
+func (fs *FS) AggregateThroughput(window float64) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return fs.totalBytes / window
+}
+
+// ost is one object storage target serving its active transfers under
+// processor sharing: the OST's effective bandwidth (peak × pattern
+// efficiency × congestion) is split equally among active streams.
+type ost struct {
+	fs         *FS
+	id         int
+	rng        *rng.Stream
+	congestion float64
+
+	// active holds in-flight transfers in arrival order; keeping a slice
+	// (not a map) makes completion order — and thus the whole simulation —
+	// deterministic.
+	active     []*transfer
+	lastUpdate float64
+	rate       float64 // current per-transfer drain rate (bytes/s)
+	timer      *des.Timer
+}
+
+type transfer struct {
+	ost       *ost
+	remaining float64 // jitter-inflated bytes left to serve
+	payload   float64 // real bytes (accounted on completion)
+	pat       Pattern
+	future    *des.Future
+}
+
+// drawJitter returns the multiplicative log-normal service jitter and an
+// additive straggler delay in seconds (a stuck RPC or server hiccup costs
+// wall time, not time proportional to the request size).
+func (o *ost) drawJitter() (mult, straggleSeconds float64) {
+	p := o.fs.params
+	mult = 1.0
+	if p.JitterSigma > 0 {
+		mult = o.rng.UnitLogNormal(p.JitterSigma)
+	}
+	if p.HeavyTailProb > 0 && o.rng.Float64() < p.HeavyTailProb {
+		straggleSeconds = o.rng.Pareto(p.HeavyTailScale, p.HeavyTailAlpha)
+		// Interference episodes last seconds to a couple of minutes; cap
+		// the Pareto tail so one draw cannot dominate a whole run.
+		if straggleSeconds > 120 {
+			straggleSeconds = 120
+		}
+	}
+	return mult, straggleSeconds
+}
+
+// efficiency returns the fraction of OST peak delivered in aggregate when
+// n streams of the given blended pattern mix are active.
+func (o *ost) efficiency(n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	p := o.fs.params
+	// Blend the per-pattern degradation over the active mix.
+	var base, alpha float64
+	for _, t := range o.active {
+		switch t.pat {
+		case BigSequential:
+			base += 1
+			alpha += p.AlphaSeq
+		case SmallFile:
+			base += p.SmallBase
+			alpha += p.AlphaSmall
+		case SharedFile:
+			base += p.SharedBase
+			alpha += p.AlphaShared
+		}
+	}
+	base /= float64(n)
+	alpha /= float64(n)
+	return base / (1 + alpha*float64(n-1))
+}
+
+// advance drains the active transfers for the time elapsed since the last
+// update at the previously computed rate.
+func (o *ost) advance() {
+	now := o.fs.eng.Now()
+	dt := now - o.lastUpdate
+	o.lastUpdate = now
+	if dt <= 0 || o.rate <= 0 || len(o.active) == 0 {
+		return
+	}
+	drained := o.rate * dt
+	for _, t := range o.active {
+		t.remaining -= drained
+		if t.remaining < 1 { // sub-byte residue: done
+			t.remaining = 0
+		}
+	}
+}
+
+// recompute completes any finished transfers, recomputes the shared rate,
+// and schedules the next completion.
+func (o *ost) recompute() {
+	if o.timer != nil {
+		o.timer.Cancel()
+		o.timer = nil
+	}
+	// Complete transfers drained to zero, preserving arrival order.
+	live := o.active[:0]
+	for _, t := range o.active {
+		if t.remaining <= 0 {
+			o.fs.totalBytes += t.payload
+			o.fs.activeTransfers--
+			if o.fs.activeTransfers == 0 {
+				o.fs.busyTotal += o.fs.eng.Now() - o.fs.busySince
+			}
+			t.future.Complete()
+		} else {
+			live = append(live, t)
+		}
+	}
+	o.active = live
+	n := len(o.active)
+	if n == 0 {
+		o.rate = 0
+		return
+	}
+	p := o.fs.params
+	aggregate := p.OSTBandwidth * o.efficiency(n) * o.congestion
+	if aggregate < 1 { // floor to avoid virtually-stalled transfers
+		aggregate = 1
+	}
+	o.rate = aggregate / float64(n)
+	// Next completion: the smallest remaining backlog.
+	min := math.Inf(1)
+	for _, t := range o.active {
+		if t.remaining < min {
+			min = t.remaining
+		}
+	}
+	o.timer = o.fs.eng.After(min/o.rate, func() {
+		o.advance()
+		o.recompute()
+	})
+}

@@ -1,0 +1,53 @@
+package sdf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Merge combines several SDF files into one, re-encoding every dataset
+// with the given codec. Dataset paths must not collide across inputs
+// (per-rank files use distinct src segments, so they never do); root
+// attributes of later files win. This is the post-processing step the
+// paper calls out as the pain of file-per-process output: datasets
+// "spread in many small files" reassembled into one shared file.
+func Merge(outPath, codec string, inPaths ...string) error {
+	if len(inPaths) == 0 {
+		return fmt.Errorf("sdf: nothing to merge")
+	}
+	sorted := append([]string(nil), inPaths...)
+	sort.Strings(sorted) // deterministic dataset order in the output
+	out, err := Create(outPath)
+	if err != nil {
+		return err
+	}
+	for _, in := range sorted {
+		r, err := Open(in)
+		if err != nil {
+			out.Close()
+			return fmt.Errorf("sdf: merging %s: %w", in, err)
+		}
+		for _, g := range r.Groups() {
+			if err := out.CreateGroup(g); err != nil {
+				r.Close()
+				out.Close()
+				return err
+			}
+		}
+		for _, d := range r.Datasets() {
+			data, err := r.ReadDataset(d.Path)
+			if err != nil {
+				r.Close()
+				out.Close()
+				return fmt.Errorf("sdf: merging %s: %w", in, err)
+			}
+			if err := out.WriteDataset(d.Path, d.Type, d.Dims, data, codec); err != nil {
+				r.Close()
+				out.Close()
+				return fmt.Errorf("sdf: merging %s: %w", in, err)
+			}
+		}
+		r.Close()
+	}
+	return out.Close()
+}

@@ -1,0 +1,327 @@
+package sdf
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compress"
+	"repro/internal/meta"
+)
+
+func tempFile(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.sdf")
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := tempFile(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := compress.Float64Bytes([]float64{1, 2, 3, 4, 5, 6})
+	if err := w.WriteDataset("iter0000/theta/rank0000", meta.Float64, []int{2, 3}, data, "none"); err != nil {
+		t.Fatal(err)
+	}
+	w.SetAttrString("iter0000/theta/rank0000", "unit", "K")
+	w.SetAttrInt("iter0000", "iteration", 0)
+	w.SetAttrFloat("iter0000/theta/rank0000", "dt", 0.5)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	d, ok := r.Dataset("iter0000/theta/rank0000")
+	if !ok || d.Type != meta.Float64 || len(d.Dims) != 2 || d.Dims[0] != 2 || d.Dims[1] != 3 {
+		t.Fatalf("dataset info = %+v ok=%v", d, ok)
+	}
+	if d.Elems() != 6 {
+		t.Fatalf("elems = %d", d.Elems())
+	}
+	got, err := r.ReadFloat64s("iter0000/theta/rank0000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []float64{1, 2, 3, 4, 5, 6} {
+		if got[i] != v {
+			t.Fatalf("data[%d] = %v", i, got[i])
+		}
+	}
+	if u, ok := r.AttrString("iter0000/theta/rank0000", "unit"); !ok || u != "K" {
+		t.Fatalf("unit attr = %q ok=%v", u, ok)
+	}
+	if it, ok := r.AttrInt("iter0000", "iteration"); !ok || it != 0 {
+		t.Fatalf("iteration attr = %d ok=%v", it, ok)
+	}
+	if dt, ok := r.AttrFloat("iter0000/theta/rank0000", "dt"); !ok || dt != 0.5 {
+		t.Fatalf("dt attr = %v ok=%v", dt, ok)
+	}
+}
+
+func TestGroupsRegisteredWithAncestors(t *testing.T) {
+	path := tempFile(t)
+	w, _ := Create(path)
+	if err := w.CreateGroup("a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 8)
+	w.WriteDataset("x/y/ds", meta.Float64, []int{1}, data, "none")
+	w.Close()
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	want := map[string]bool{"a": true, "a/b": true, "a/b/c": true, "x": true, "x/y": true}
+	got := map[string]bool{}
+	for _, g := range r.Groups() {
+		got[g] = true
+	}
+	for g := range want {
+		if !got[g] {
+			t.Errorf("missing group %q (have %v)", g, r.Groups())
+		}
+	}
+}
+
+func TestAllCodecsRoundTripThroughFile(t *testing.T) {
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = 250 + 10*math.Sin(float64(i)/100)
+	}
+	data := compress.Float64Bytes(vals)
+	for _, codec := range []string{"none", "gorilla", "flate", "rle"} {
+		path := tempFile(t)
+		w, _ := Create(path)
+		if err := w.WriteDataset("v", meta.Float64, []int{4096}, data, codec); err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		w.Close()
+		r, err := Open(path)
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		got, err := r.ReadDataset("v")
+		r.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: data mismatch", codec)
+		}
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	w, _ := Create(tempFile(t))
+	defer w.Close()
+	data := make([]byte, 16)
+	if err := w.WriteDataset("", meta.Float64, []int{2}, data, "none"); err == nil {
+		t.Error("empty path accepted")
+	}
+	if err := w.WriteDataset("v", meta.Type("bad"), []int{2}, data, "none"); err == nil {
+		t.Error("bad dtype accepted")
+	}
+	if err := w.WriteDataset("v", meta.Float64, []int{3}, data, "none"); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if err := w.WriteDataset("v", meta.Float64, []int{0}, nil, "none"); err == nil {
+		t.Error("zero dim accepted")
+	}
+	if err := w.WriteDataset("v", meta.Float64, []int{2}, data, "bogus"); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if err := w.WriteDataset("v", meta.Float64, []int{2}, data, "none"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteDataset("v", meta.Float64, []int{2}, data, "none"); err == nil {
+		t.Error("duplicate path accepted")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := writeFile(path, []byte("this is not an SDF file at all......")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestOpenRejectsUnclosedFile(t *testing.T) {
+	path := tempFile(t)
+	w, _ := Create(path)
+	w.WriteDataset("v", meta.Float64, []int{1}, make([]byte, 8), "none")
+	// No Close: the trailer is missing.
+	w.closer.Close()
+	if _, err := Open(path); err == nil {
+		t.Fatal("unclosed file accepted")
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	path := tempFile(t)
+	w, _ := Create(path)
+	w.WriteDataset("v", meta.Float64, []int{128}, make([]byte, 1024), "none")
+	w.Close()
+	raw, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(magic)+10] ^= 0xFF // flip a payload byte
+	if err := writeFile(path, raw); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err) // index is intact
+	}
+	defer r.Close()
+	if _, err := r.ReadDataset("v"); err == nil {
+		t.Fatal("corrupt payload not detected")
+	}
+}
+
+func TestDatasetsOrder(t *testing.T) {
+	path := tempFile(t)
+	w, _ := Create(path)
+	for _, name := range []string{"c", "a", "b"} {
+		w.WriteDataset(name, meta.Uint8, []int{4}, make([]byte, 4), "none")
+	}
+	w.Close()
+	r, _ := Open(path)
+	defer r.Close()
+	ds := r.Datasets()
+	if len(ds) != 3 || ds[0].Path != "c" || ds[1].Path != "a" || ds[2].Path != "b" {
+		t.Fatalf("order = %+v", ds)
+	}
+}
+
+func TestReadFloat64sTypeCheck(t *testing.T) {
+	path := tempFile(t)
+	w, _ := Create(path)
+	w.WriteDataset("i", meta.Int32, []int{2}, make([]byte, 8), "none")
+	w.Close()
+	r, _ := Open(path)
+	defer r.Close()
+	if _, err := r.ReadFloat64s("i"); err == nil {
+		t.Fatal("type mismatch not detected")
+	}
+	if _, err := r.ReadFloat64s("missing"); err == nil {
+		t.Fatal("missing dataset not detected")
+	}
+}
+
+// TestRoundTripProperty: arbitrary float64 datasets round-trip through an
+// in-memory SDF file with every codec that accepts them.
+func TestRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(vals []float64, pick uint8) bool {
+		if len(vals) == 0 {
+			vals = []float64{0}
+		}
+		codecs := []string{"none", "gorilla", "flate"}
+		codec := codecs[int(pick)%len(codecs)]
+		data := compress.Float64Bytes(vals)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteDataset("v", meta.Float64, []int{len(vals)}, data, codec); err != nil {
+			return false
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			return false
+		}
+		got, err := r.ReadDataset("v")
+		return err == nil && bytes.Equal(got, data)
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteDatasetNone(b *testing.B) {
+	data := make([]byte, 1<<20)
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.WriteDataset("v", meta.Uint8, []int{len(data)}, data, "none")
+		w.Close()
+	}
+	b.SetBytes(1 << 20)
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func readFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func TestMergeCombinesRankFiles(t *testing.T) {
+	dir := t.TempDir()
+	var inputs []string
+	for rank := 0; rank < 3; rank++ {
+		path := filepath.Join(dir, fmt.Sprintf("rank%d.sdf", rank))
+		w, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]float64, 16)
+		for i := range vals {
+			vals[i] = float64(rank*100 + i)
+		}
+		ds := fmt.Sprintf("theta/src%04d", rank)
+		if err := w.WriteDataset(ds, meta.Float64, []int{16}, compress.Float64Bytes(vals), "none"); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		inputs = append(inputs, path)
+	}
+	out := filepath.Join(dir, "merged.sdf")
+	if err := Merge(out, "gorilla", inputs...); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if len(r.Datasets()) != 3 {
+		t.Fatalf("merged %d datasets, want 3", len(r.Datasets()))
+	}
+	vals, err := r.ReadFloat64s("theta/src0002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 200 || vals[15] != 215 {
+		t.Fatalf("merged data wrong: %v", vals)
+	}
+	// Re-encoding changed the codec.
+	if d, _ := r.Dataset("theta/src0002"); d.Codec != "gorilla" {
+		t.Fatalf("codec after merge = %s", d.Codec)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if err := Merge(filepath.Join(t.TempDir(), "o.sdf"), "none"); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	if err := Merge(filepath.Join(t.TempDir(), "o.sdf"), "none", "/nonexistent.sdf"); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}

@@ -1,0 +1,293 @@
+// Package sdf implements SDF, a self-describing hierarchical scientific
+// data format standing in for HDF5 in this reproduction: groups, typed
+// n-dimensional datasets, string/number attributes, optional per-dataset
+// compression, and CRC-verified reads.
+//
+// Layout: a small magic header, then dataset payloads appended in write
+// order, then a binary index (datasets, attributes, groups), then a fixed
+// trailer holding the index offset and checksum — so files are written in
+// one streaming pass and opened by reading the trailer first, like HDF5
+// and Parquet do.
+package sdf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/compress"
+	"repro/internal/meta"
+)
+
+var (
+	magic        = []byte("SDFv1\x00\x00\x00")
+	trailerMagic = []byte("SDFEND\x00\x00")
+)
+
+// DatasetInfo describes one stored dataset.
+type DatasetInfo struct {
+	Path    string
+	Type    meta.Type
+	Dims    []int
+	Codec   string
+	RawSize int64
+	EncSize int64
+	Offset  int64
+	CRC     uint32
+}
+
+// Elems returns the number of elements.
+func (d DatasetInfo) Elems() int {
+	n := 1
+	for _, dim := range d.Dims {
+		n *= dim
+	}
+	return n
+}
+
+// attr is one attribute value; only string, int64 and float64 are stored.
+type attr struct {
+	Path, Key string
+	Kind      byte // 's', 'i', 'f'
+	Str       string
+	Int       int64
+	Float     float64
+}
+
+// Writer streams an SDF file.
+type Writer struct {
+	w      io.Writer
+	closer io.Closer
+	off    int64
+
+	datasets []DatasetInfo
+	paths    map[string]bool
+	attrs    []attr
+	groups   map[string]bool
+	closed   bool
+	err      error
+}
+
+// Create creates an SDF file at path.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := NewWriter(f)
+	w.closer = f
+	return w, nil
+}
+
+// NewWriter wraps an io.Writer; Close does not close the underlying
+// writer unless the Writer was obtained from Create.
+func NewWriter(out io.Writer) *Writer {
+	w := &Writer{w: out, paths: map[string]bool{}, groups: map[string]bool{}}
+	w.write(magic)
+	return w
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.w.Write(p)
+	w.off += int64(n)
+	w.err = err
+}
+
+// CreateGroup registers a group path (and its ancestors).
+func (w *Writer) CreateGroup(path string) error {
+	if w.closed {
+		return fmt.Errorf("sdf: writer closed")
+	}
+	path = cleanPath(path)
+	if path == "" {
+		return fmt.Errorf("sdf: empty group path")
+	}
+	for p := path; p != ""; p = parentPath(p) {
+		w.groups[p] = true
+	}
+	return nil
+}
+
+// WriteDataset appends a dataset. data must hold exactly
+// product(dims) × dtype.Size() bytes; codecName selects the compression
+// codec ("none", "gorilla", "delta", "rle", "flate").
+func (w *Writer) WriteDataset(path string, dtype meta.Type, dims []int, data []byte, codecName string) error {
+	if w.closed {
+		return fmt.Errorf("sdf: writer closed")
+	}
+	path = cleanPath(path)
+	if path == "" {
+		return fmt.Errorf("sdf: empty dataset path")
+	}
+	if w.paths[path] {
+		return fmt.Errorf("sdf: dataset %q already exists", path)
+	}
+	if !dtype.Valid() {
+		return fmt.Errorf("sdf: invalid dtype %q", dtype)
+	}
+	elems := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return fmt.Errorf("sdf: non-positive dimension in %v", dims)
+		}
+		elems *= d
+	}
+	if want := elems * dtype.Size(); len(data) != want {
+		return fmt.Errorf("sdf: dataset %q: %d bytes for dims %v of %s (want %d)",
+			path, len(data), dims, dtype, want)
+	}
+	codec, err := compress.ByName(codecName)
+	if err != nil {
+		return err
+	}
+	enc, err := codec.Encode(data, dtype.Size())
+	if err != nil {
+		return fmt.Errorf("sdf: encoding %q: %w", path, err)
+	}
+	info := DatasetInfo{
+		Path:    path,
+		Type:    dtype,
+		Dims:    append([]int(nil), dims...),
+		Codec:   codec.Name(),
+		RawSize: int64(len(data)),
+		EncSize: int64(len(enc)),
+		Offset:  w.off,
+		CRC:     crc32.ChecksumIEEE(enc),
+	}
+	w.write(enc)
+	if w.err != nil {
+		return w.err
+	}
+	w.datasets = append(w.datasets, info)
+	w.paths[path] = true
+	if p := parentPath(path); p != "" {
+		w.CreateGroup(p)
+	}
+	return nil
+}
+
+// SetAttrString attaches a string attribute to a path.
+func (w *Writer) SetAttrString(path, key, v string) {
+	w.attrs = append(w.attrs, attr{Path: cleanPath(path), Key: key, Kind: 's', Str: v})
+}
+
+// SetAttrInt attaches an integer attribute to a path.
+func (w *Writer) SetAttrInt(path, key string, v int64) {
+	w.attrs = append(w.attrs, attr{Path: cleanPath(path), Key: key, Kind: 'i', Int: v})
+}
+
+// SetAttrFloat attaches a float attribute to a path.
+func (w *Writer) SetAttrFloat(path, key string, v float64) {
+	w.attrs = append(w.attrs, attr{Path: cleanPath(path), Key: key, Kind: 'f', Float: v})
+}
+
+// BytesWritten returns the bytes emitted so far (payloads + header).
+func (w *Writer) BytesWritten() int64 { return w.off }
+
+// Close writes the index and trailer. The Writer is unusable afterwards.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	indexOff := w.off
+	idx := w.encodeIndex()
+	w.write(idx)
+	var tail [20]byte
+	binary.LittleEndian.PutUint64(tail[0:], uint64(indexOff))
+	binary.LittleEndian.PutUint32(tail[8:], crc32.ChecksumIEEE(idx))
+	copy(tail[12:], trailerMagic)
+	w.write(tail[:])
+	err := w.err
+	if w.closer != nil {
+		if cerr := w.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func (w *Writer) encodeIndex() []byte {
+	var b builder
+	b.u32(uint32(len(w.datasets)))
+	for _, d := range w.datasets {
+		b.str(d.Path)
+		b.str(string(d.Type))
+		b.u32(uint32(len(d.Dims)))
+		for _, dim := range d.Dims {
+			b.u64(uint64(dim))
+		}
+		b.str(d.Codec)
+		b.u64(uint64(d.RawSize))
+		b.u64(uint64(d.EncSize))
+		b.u64(uint64(d.Offset))
+		b.u32(d.CRC)
+	}
+	b.u32(uint32(len(w.attrs)))
+	for _, a := range w.attrs {
+		b.str(a.Path)
+		b.str(a.Key)
+		b.buf = append(b.buf, a.Kind)
+		switch a.Kind {
+		case 's':
+			b.str(a.Str)
+		case 'i':
+			b.u64(uint64(a.Int))
+		case 'f':
+			b.u64(uint64(float64bits(a.Float)))
+		}
+	}
+	groups := make([]string, 0, len(w.groups))
+	for g := range w.groups {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	b.u32(uint32(len(groups)))
+	for _, g := range groups {
+		b.str(g)
+	}
+	return b.buf
+}
+
+type builder struct{ buf []byte }
+
+func (b *builder) u32(v uint32) {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	b.buf = append(b.buf, t[:]...)
+}
+
+func (b *builder) u64(v uint64) {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], v)
+	b.buf = append(b.buf, t[:]...)
+}
+
+func (b *builder) str(s string) {
+	b.u32(uint32(len(s)))
+	b.buf = append(b.buf, s...)
+}
+
+// cleanPath normalizes to slash-separated, no leading/trailing slash.
+func cleanPath(p string) string {
+	return strings.Trim(strings.ReplaceAll(p, "//", "/"), "/")
+}
+
+func parentPath(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	if i < 0 {
+		return ""
+	}
+	return p[:i]
+}
+
+func float64bits(f float64) uint64 {
+	return binary.LittleEndian.Uint64(compress.Float64Bytes([]float64{f}))
+}

@@ -1,0 +1,233 @@
+// Package shm implements the node-local shared-memory substrate at the
+// heart of the Damaris design (§III.A): a fixed-capacity segment in which
+// simulation cores allocate blocks of data for the dedicated cores to
+// consume in place (no extra copies), plus the bounded message queue used
+// to send events between them.
+//
+// Within one OS process, Go memory shared between goroutines plays the
+// role of the POSIX/SysV shared memory used by the original middleware;
+// the allocator reproduces its capacity limits and blocking behaviour, in
+// particular the "segment full" condition that drives the paper's §V.C
+// skip-iteration policy.
+package shm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNoSpace is returned by Alloc when the segment cannot satisfy the
+// request. Callers implement their policy on top: block (AllocWait), fail,
+// or drop the iteration as the paper does.
+var ErrNoSpace = errors.New("shm: segment full")
+
+// ErrClosed is returned when allocating from a closed segment.
+var ErrClosed = errors.New("shm: segment closed")
+
+// blockAlign is the allocation granularity; cache-line alignment avoids
+// false sharing between a writer core and the dedicated reader core.
+const blockAlign = 64
+
+// Segment is a fixed-capacity shared-memory segment with a first-fit
+// allocator. It is safe for concurrent use by any number of goroutines.
+type Segment struct {
+	mu       sync.Mutex
+	freeCond *sync.Cond
+	buf      []byte
+	free     []region // sorted by offset, coalesced
+	closed   bool
+
+	allocated  int64
+	allocCount int64
+	peak       int64
+}
+
+type region struct {
+	off, len int
+}
+
+// Block is an allocated region of a segment. The memory is owned by the
+// allocating goroutine until handed to a consumer; Free returns it.
+type Block struct {
+	seg *Segment
+	off int
+	n   int // requested length
+	cap int // aligned length actually reserved
+}
+
+// NewSegment creates a segment of the given capacity in bytes.
+func NewSegment(capacity int) (*Segment, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("shm: non-positive capacity %d", capacity)
+	}
+	capacity = align(capacity)
+	s := &Segment{
+		buf:  make([]byte, capacity),
+		free: []region{{0, capacity}},
+	}
+	s.freeCond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+func align(n int) int { return (n + blockAlign - 1) &^ (blockAlign - 1) }
+
+// Capacity returns the total segment size in bytes.
+func (s *Segment) Capacity() int { return len(s.buf) }
+
+// Allocated returns the number of bytes currently reserved.
+func (s *Segment) Allocated() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocated
+}
+
+// Peak returns the high-water mark of reserved bytes.
+func (s *Segment) Peak() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peak
+}
+
+// AllocCount returns the number of successful allocations so far.
+func (s *Segment) AllocCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocCount
+}
+
+// LargestFree returns the size of the largest contiguous free region.
+func (s *Segment) LargestFree() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	max := 0
+	for _, r := range s.free {
+		if r.len > max {
+			max = r.len
+		}
+	}
+	return max
+}
+
+// Alloc reserves n bytes, or returns ErrNoSpace immediately if no
+// contiguous region fits (the caller decides whether to wait, fail, or
+// drop data).
+func (s *Segment) Alloc(n int) (*Block, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.allocLocked(n)
+}
+
+// AllocWait reserves n bytes, blocking until space frees up. It returns
+// ErrClosed if the segment is closed while waiting.
+func (s *Segment) AllocWait(n int) (*Block, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		b, err := s.allocLocked(n)
+		if err == nil || !errors.Is(err, ErrNoSpace) {
+			return b, err
+		}
+		s.freeCond.Wait()
+	}
+}
+
+func (s *Segment) allocLocked(n int) (*Block, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("shm: non-positive allocation %d", n)
+	}
+	need := align(n)
+	for i, r := range s.free {
+		if r.len < need {
+			continue
+		}
+		// First fit: carve from the front of the region.
+		b := &Block{seg: s, off: r.off, n: n, cap: need}
+		if r.len == need {
+			s.free = append(s.free[:i], s.free[i+1:]...)
+		} else {
+			s.free[i] = region{r.off + need, r.len - need}
+		}
+		s.allocated += int64(need)
+		s.allocCount++
+		if s.allocated > s.peak {
+			s.peak = s.allocated
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("%w: need %d, largest free %d", ErrNoSpace, need, s.largestFreeLocked())
+}
+
+func (s *Segment) largestFreeLocked() int {
+	max := 0
+	for _, r := range s.free {
+		if r.len > max {
+			max = r.len
+		}
+	}
+	return max
+}
+
+// Close marks the segment closed: subsequent allocations fail and blocked
+// AllocWait callers are woken with ErrClosed. Existing blocks stay valid.
+func (s *Segment) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.freeCond.Broadcast()
+}
+
+// Bytes returns the block's memory. The slice aliases the segment buffer:
+// this is exactly the zero-copy sharing the Damaris design is built on.
+func (b *Block) Bytes() []byte { return b.seg.buf[b.off : b.off+b.n] }
+
+// Len returns the requested block length.
+func (b *Block) Len() int { return b.n }
+
+// Offset returns the block's offset inside the segment (diagnostics).
+func (b *Block) Offset() int { return b.off }
+
+// Free returns the block's memory to the segment and wakes blocked
+// allocators. Freeing a block twice panics: it indicates an ownership bug.
+func (b *Block) Free() {
+	s := b.seg
+	if s == nil {
+		panic("shm: double free")
+	}
+	b.seg = nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.allocated -= int64(b.cap)
+	s.insertFreeLocked(region{b.off, b.cap})
+	s.freeCond.Broadcast()
+}
+
+// insertFreeLocked inserts r into the sorted free list, coalescing with
+// adjacent regions.
+func (s *Segment) insertFreeLocked(r region) {
+	// Binary search for the insertion point.
+	lo, hi := 0, len(s.free)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.free[mid].off < r.off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s.free = append(s.free, region{})
+	copy(s.free[lo+1:], s.free[lo:])
+	s.free[lo] = r
+	// Coalesce with successor, then predecessor.
+	if lo+1 < len(s.free) && r.off+r.len == s.free[lo+1].off {
+		s.free[lo].len += s.free[lo+1].len
+		s.free = append(s.free[:lo+1], s.free[lo+2:]...)
+	}
+	if lo > 0 && s.free[lo-1].off+s.free[lo-1].len == s.free[lo].off {
+		s.free[lo-1].len += s.free[lo].len
+		s.free = append(s.free[:lo], s.free[lo+1:]...)
+	}
+}

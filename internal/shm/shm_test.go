@@ -1,0 +1,388 @@
+package shm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFree(t *testing.T) {
+	s, err := NewSegment(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1000 || len(b.Bytes()) != 1000 {
+		t.Fatalf("block length %d", b.Len())
+	}
+	if s.Allocated() < 1000 {
+		t.Fatalf("allocated = %d", s.Allocated())
+	}
+	b.Free()
+	if s.Allocated() != 0 {
+		t.Fatalf("allocated after free = %d", s.Allocated())
+	}
+}
+
+func TestAllocRejectsBadSizes(t *testing.T) {
+	s, _ := NewSegment(1024)
+	if _, err := s.Alloc(0); err == nil {
+		t.Fatal("Alloc(0) succeeded")
+	}
+	if _, err := s.Alloc(-5); err == nil {
+		t.Fatal("Alloc(-5) succeeded")
+	}
+	if _, err := NewSegment(0); err == nil {
+		t.Fatal("NewSegment(0) succeeded")
+	}
+}
+
+func TestErrNoSpace(t *testing.T) {
+	s, _ := NewSegment(1024)
+	if _, err := s.Alloc(2048); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+}
+
+func TestBlocksDoNotOverlap(t *testing.T) {
+	s, _ := NewSegment(1 << 16)
+	var blocks []*Block
+	for {
+		b, err := s.Alloc(100)
+		if err != nil {
+			break
+		}
+		blocks = append(blocks, b)
+	}
+	if len(blocks) < 2 {
+		t.Fatal("too few blocks")
+	}
+	type span struct{ lo, hi int }
+	var spans []span
+	for _, b := range blocks {
+		spans = append(spans, span{b.Offset(), b.Offset() + b.Len()})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				t.Fatalf("blocks %d and %d overlap: %+v %+v", i, j, spans[i], spans[j])
+			}
+		}
+	}
+}
+
+func TestWriteVisibleThroughBlock(t *testing.T) {
+	s, _ := NewSegment(4096)
+	b, _ := s.Alloc(8)
+	copy(b.Bytes(), []byte("damaris!"))
+	if string(b.Bytes()) != "damaris!" {
+		t.Fatal("data did not round-trip through the segment")
+	}
+}
+
+func TestCoalescingRestoresFullCapacity(t *testing.T) {
+	s, _ := NewSegment(1 << 12)
+	full := s.LargestFree()
+	var blocks []*Block
+	for i := 0; i < 8; i++ {
+		b, err := s.Alloc(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, b)
+	}
+	// Free in an interleaved order to exercise coalescing both ways.
+	for _, i := range []int{1, 3, 5, 7, 0, 2, 4, 6} {
+		blocks[i].Free()
+	}
+	if s.LargestFree() != full {
+		t.Fatalf("largest free after all frees = %d, want %d", s.LargestFree(), full)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	s, _ := NewSegment(1024)
+	b, _ := s.Alloc(10)
+	b.Free()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	b.Free()
+}
+
+func TestAllocWaitBlocksUntilFree(t *testing.T) {
+	s, _ := NewSegment(1024)
+	b1, _ := s.Alloc(1024)
+	done := make(chan *Block)
+	go func() {
+		b2, err := s.AllocWait(512)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- b2
+	}()
+	select {
+	case <-done:
+		t.Fatal("AllocWait returned while the segment was full")
+	default:
+	}
+	b1.Free()
+	b2 := <-done
+	b2.Free()
+}
+
+func TestAllocWaitUnblocksOnClose(t *testing.T) {
+	s, _ := NewSegment(1024)
+	b, _ := s.Alloc(1024)
+	errc := make(chan error)
+	go func() {
+		_, err := s.AllocWait(512)
+		errc <- err
+	}()
+	s.Close()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	b.Free()
+}
+
+func TestPeakTracking(t *testing.T) {
+	s, _ := NewSegment(4096)
+	a, _ := s.Alloc(1024)
+	b, _ := s.Alloc(1024)
+	a.Free()
+	b.Free()
+	if s.Peak() < 2048 {
+		t.Fatalf("peak = %d, want >= 2048", s.Peak())
+	}
+	if s.AllocCount() != 2 {
+		t.Fatalf("alloc count = %d", s.AllocCount())
+	}
+}
+
+// TestAllocatorConservation is the property test on the allocator's core
+// invariant: after any sequence of allocs and frees, allocated + free
+// bytes equals capacity and no two live blocks overlap.
+func TestAllocatorConservation(t *testing.T) {
+	if err := quick.Check(func(ops []uint16) bool {
+		s, _ := NewSegment(1 << 14)
+		live := map[*Block]bool{}
+		for _, op := range ops {
+			if op%3 != 0 && len(live) > 0 {
+				// Free the first live block found (map order is fine here:
+				// the invariant must hold under any order).
+				for b := range live {
+					b.Free()
+					delete(live, b)
+					break
+				}
+				continue
+			}
+			size := int(op%2000) + 1
+			if b, err := s.Alloc(size); err == nil {
+				live[b] = true
+			}
+		}
+		// Overlap check.
+		var spans [][2]int
+		for b := range live {
+			spans = append(spans, [2]int{b.Offset(), b.Offset() + b.Len()})
+		}
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				if spans[i][0] < spans[j][1] && spans[j][0] < spans[i][1] {
+					return false
+				}
+			}
+		}
+		// Conservation: free everything, full capacity must coalesce back.
+		for b := range live {
+			b.Free()
+		}
+		return s.Allocated() == 0 && s.LargestFree() == s.Capacity()
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	s, _ := NewSegment(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b, err := s.Alloc(512)
+				if err != nil {
+					continue
+				}
+				// Write a signature and verify it: catches overlap races.
+				sig := byte(id)
+				for j := range b.Bytes() {
+					b.Bytes()[j] = sig
+				}
+				for j := range b.Bytes() {
+					if b.Bytes()[j] != sig {
+						t.Errorf("corruption in goroutine %d", id)
+						break
+					}
+				}
+				b.Free()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Allocated() != 0 {
+		t.Fatalf("leak: %d bytes still allocated", s.Allocated())
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int](4)
+	for i := 0; i < 4; i++ {
+		if !q.Send(i) {
+			t.Fatal("send failed")
+		}
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.Recv()
+		if !ok || v != i {
+			t.Fatalf("recv %d: got %d ok=%v", i, v, ok)
+		}
+	}
+}
+
+func TestQueueTrySendFull(t *testing.T) {
+	q := NewQueue[string](1)
+	if !q.TrySend("a") {
+		t.Fatal("first TrySend failed")
+	}
+	if q.TrySend("b") {
+		t.Fatal("TrySend succeeded on a full queue")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestQueueBlockingSend(t *testing.T) {
+	q := NewQueue[int](1)
+	q.Send(1)
+	sent := make(chan struct{})
+	go func() {
+		q.Send(2)
+		close(sent)
+	}()
+	select {
+	case <-sent:
+		t.Fatal("Send returned on a full queue")
+	default:
+	}
+	if v, _ := q.Recv(); v != 1 {
+		t.Fatal("wrong head")
+	}
+	<-sent
+	if v, _ := q.Recv(); v != 2 {
+		t.Fatal("wrong second")
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue[int](4)
+	q.Send(1)
+	q.Send(2)
+	q.Close()
+	if q.Send(3) {
+		t.Fatal("send succeeded after close")
+	}
+	if v, ok := q.Recv(); !ok || v != 1 {
+		t.Fatal("drain 1 failed")
+	}
+	if v, ok := q.Recv(); !ok || v != 2 {
+		t.Fatal("drain 2 failed")
+	}
+	if _, ok := q.Recv(); ok {
+		t.Fatal("Recv reported ok on closed empty queue")
+	}
+}
+
+func TestQueueTryRecvEmpty(t *testing.T) {
+	q := NewQueue[int](2)
+	if _, ok := q.TryRecv(); ok {
+		t.Fatal("TryRecv on empty queue reported ok")
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueue[int](8)
+	const producers, perProducer = 4, 250
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Send(base + i)
+			}
+		}(p * perProducer)
+	}
+	got := make(chan int, producers*perProducer)
+	var cg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				v, ok := q.Recv()
+				if !ok {
+					return
+				}
+				got <- v
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cg.Wait()
+	close(got)
+	seen := map[int]bool{}
+	for v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate message %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("received %d of %d messages", len(seen), producers*perProducer)
+	}
+}
+
+func BenchmarkAllocFree(b *testing.B) {
+	s, _ := NewSegment(1 << 24)
+	for i := 0; i < b.N; i++ {
+		blk, err := s.Alloc(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blk.Free()
+	}
+}
+
+func BenchmarkQueueSendRecv(b *testing.B) {
+	q := NewQueue[int](1024)
+	go func() {
+		for i := 0; i < b.N; i++ {
+			q.Send(i)
+		}
+	}()
+	for i := 0; i < b.N; i++ {
+		q.Recv()
+	}
+}

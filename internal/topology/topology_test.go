@@ -1,0 +1,61 @@
+package topology
+
+import "testing"
+
+func TestPresets(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes int
+		cores int
+	}{
+		{"kraken", 768, 12},
+		{"grid5000", 34, 24},
+		{"power5", 16, 16},
+	}
+	for _, c := range cases {
+		p, ok := ByName(c.name, c.nodes)
+		if !ok {
+			t.Fatalf("preset %q not found", c.name)
+		}
+		if p.CoresPerNode != c.cores {
+			t.Errorf("%s cores/node = %d, want %d", c.name, p.CoresPerNode, c.cores)
+		}
+		if p.Cores() != c.nodes*c.cores {
+			t.Errorf("%s total cores = %d", c.name, p.Cores())
+		}
+		if p.PFS.OSTs <= 0 || p.PFS.OSTBandwidth <= 0 || p.NICBandwidth <= 0 {
+			t.Errorf("%s has non-positive hardware parameters: %+v", c.name, p)
+		}
+		if p.PFS.MDSCreate <= 0 || p.PFS.StripeSize <= 0 {
+			t.Errorf("%s has non-positive PFS service parameters", c.name)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("bluewaters", 1); ok {
+		t.Fatal("unknown platform should not resolve")
+	}
+}
+
+func TestWithNodes(t *testing.T) {
+	p := Kraken(768)
+	q := p.WithNodes(48)
+	if q.Nodes != 48 || q.Cores() != 576 {
+		t.Fatalf("WithNodes: %+v", q)
+	}
+	if p.Nodes != 768 {
+		t.Fatal("WithNodes mutated the receiver")
+	}
+	if q.PFS.OSTs != p.PFS.OSTs {
+		t.Fatal("weak scaling must keep the PFS size fixed")
+	}
+}
+
+func TestKrakenPaperScale(t *testing.T) {
+	// The paper's largest run: 9216 processes on Kraken = 768 nodes.
+	p := Kraken(768)
+	if p.Cores() != 9216 {
+		t.Fatalf("Kraken(768) cores = %d, want 9216", p.Cores())
+	}
+}

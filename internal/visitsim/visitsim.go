@@ -1,0 +1,216 @@
+// Package visitsim emulates the VisIt "libsim" in-situ coupling
+// interface the paper compares against (§V.C): the simulation registers
+// metadata and data-access callbacks, and periodically calls
+// UpdatePlots, which *synchronously* pulls data through the callbacks,
+// runs the visualization pipeline and renders — stalling the simulation
+// for the duration, exactly the coupling cost Damaris avoids.
+//
+// The API shape deliberately follows libsim's hand-rolled, handle-and-
+// callback style (VisItSetGetMetaData, VisItSetGetVariable,
+// VisItTimeStepChanged, VisItUpdatePlots, VisItSaveWindow), which is
+// what makes instrumenting a simulation with it cost the >100 lines the
+// paper measures (§V.C.2).
+package visitsim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/insitu"
+)
+
+// MeshMetaData declares a mesh to the visualization tool.
+type MeshMetaData struct {
+	Name            string
+	MeshType        string
+	TopologicalDim  int
+	SpatialDim      int
+	NumberOfDomains int
+}
+
+// VariableMetaData declares a plottable variable.
+type VariableMetaData struct {
+	Name       string
+	MeshName   string
+	Centering  string
+	Units      string
+	Components int
+}
+
+// MetaData accumulates the declarations made by the GetMetaData
+// callback.
+type MetaData struct {
+	meshes []MeshMetaData
+	vars   []VariableMetaData
+}
+
+// AddMesh registers a mesh declaration.
+func (md *MetaData) AddMesh(m MeshMetaData) { md.meshes = append(md.meshes, m) }
+
+// AddVariable registers a variable declaration.
+func (md *MetaData) AddVariable(v VariableMetaData) { md.vars = append(md.vars, v) }
+
+// MeshData is the payload a GetMesh callback hands back: rectilinear
+// coordinate arrays, as VisIt_RectilinearMesh wants them.
+type MeshData struct {
+	XCoords, YCoords, ZCoords []float64
+}
+
+// SetCoords stores the rectilinear coordinate arrays.
+func (md *MeshData) SetCoords(x, y, z []float64) error {
+	if len(x) == 0 || len(y) == 0 || len(z) == 0 {
+		return fmt.Errorf("visitsim: empty coordinate array")
+	}
+	md.XCoords, md.YCoords, md.ZCoords = x, y, z
+	return nil
+}
+
+// VariableData is the payload a GetVariable callback hands back.
+type VariableData struct {
+	dims [3]int
+	data []float64
+}
+
+// SetData stores the variable's values (z-slowest layout).
+func (vd *VariableData) SetData(nz, ny, nx int, values []float64) error {
+	if nz*ny*nx != len(values) {
+		return fmt.Errorf("visitsim: %d values for %dx%dx%d", len(values), nz, ny, nx)
+	}
+	vd.dims = [3]int{nz, ny, nx}
+	vd.data = values
+	return nil
+}
+
+// Simulation is one coupled simulation instance.
+type Simulation struct {
+	name        string
+	getMetaData func(*MetaData)
+	getVariable func(name string) (*VariableData, error)
+	getMesh     func(name string) (*MeshData, error)
+	getDomains  func() []int
+	commands    map[string]func()
+	pipeline    insitu.Pipeline
+	cycle       int
+	mode        string // "running" or "stopped"
+
+	lastResults []insitu.Result
+	updates     int
+}
+
+// Setup initializes the coupling (VisItSetupEnvironment +
+// VisItInitializeSocketAndDumpSimFile in the original).
+func Setup(name string) *Simulation {
+	return &Simulation{
+		name:     name,
+		pipeline: insitu.DefaultPipeline(),
+		commands: map[string]func(){},
+		mode:     "running",
+	}
+}
+
+// SetGetMetaData registers the metadata callback.
+func (s *Simulation) SetGetMetaData(fn func(*MetaData)) { s.getMetaData = fn }
+
+// SetGetVariable registers the data-access callback.
+func (s *Simulation) SetGetVariable(fn func(name string) (*VariableData, error)) {
+	s.getVariable = fn
+}
+
+// SetGetMesh registers the mesh-access callback (VisItSetGetMesh).
+func (s *Simulation) SetGetMesh(fn func(name string) (*MeshData, error)) {
+	s.getMesh = fn
+}
+
+// SetGetDomainList registers the domain-list callback
+// (VisItSetGetDomainList).
+func (s *Simulation) SetGetDomainList(fn func() []int) { s.getDomains = fn }
+
+// AddCommand registers a console/engine command and its handler
+// (VisItSetCommandCallback + metadata command registration in libsim).
+func (s *Simulation) AddCommand(name string, fn func()) { s.commands[name] = fn }
+
+// ProcessEngineCommand dispatches a control command, as a libsim main
+// loop does on VisItDetectInput; unknown commands report false.
+func (s *Simulation) ProcessEngineCommand(name string) bool {
+	fn, ok := s.commands[name]
+	if !ok {
+		return false
+	}
+	fn()
+	return true
+}
+
+// SetMode switches the simulation control mode ("running"/"stopped").
+func (s *Simulation) SetMode(mode string) { s.mode = mode }
+
+// Mode returns the current control mode.
+func (s *Simulation) Mode() string { return s.mode }
+
+// TimeStepChanged tells the tool the simulation advanced.
+func (s *Simulation) TimeStepChanged(cycle int) { s.cycle = cycle }
+
+// UpdatePlots synchronously re-executes the visualization pipeline: it
+// pulls the metadata, fetches every declared variable through the
+// callback, and runs analysis + rendering before returning. The caller
+// (the simulation) is stalled the whole time.
+func (s *Simulation) UpdatePlots() error {
+	if s.getMetaData == nil || s.getVariable == nil {
+		return fmt.Errorf("visitsim: callbacks not registered")
+	}
+	var md MetaData
+	s.getMetaData(&md)
+	// Validate meshes through the mesh callback, as the tool would when
+	// building its plots.
+	if s.getMesh != nil {
+		for _, m := range md.meshes {
+			if _, err := s.getMesh(m.Name); err != nil {
+				return fmt.Errorf("visitsim: mesh %q: %w", m.Name, err)
+			}
+		}
+	}
+	s.lastResults = s.lastResults[:0]
+	for _, v := range md.vars {
+		vd, err := s.getVariable(v.Name)
+		if err != nil {
+			return fmt.Errorf("visitsim: variable %q: %w", v.Name, err)
+		}
+		field := insitu.Field{
+			Name: v.Name,
+			NZ:   vd.dims[0], NY: vd.dims[1], NX: vd.dims[2],
+			Data: vd.data,
+		}
+		res, err := s.pipeline.Analyze(field, s.cycle)
+		if err != nil {
+			return err
+		}
+		s.lastResults = append(s.lastResults, res)
+	}
+	s.updates++
+	return nil
+}
+
+// SaveWindow renders the most recent results to image files with the
+// given prefix and returns the paths written.
+func (s *Simulation) SaveWindow(dir, prefix string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, res := range s.lastResults {
+		p := filepath.Join(dir, fmt.Sprintf("%s-%s-cycle%06d.pgm", prefix, res.Field, res.Iteration))
+		if err := os.WriteFile(p, res.Image.EncodePGM(), 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}
+
+// Results returns the last UpdatePlots output (tests, comparisons).
+func (s *Simulation) Results() []insitu.Result {
+	return append([]insitu.Result(nil), s.lastResults...)
+}
+
+// Updates returns how many synchronous pipeline executions ran.
+func (s *Simulation) Updates() int { return s.updates }

@@ -1,0 +1,72 @@
+package visitsim
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func setupCoupled(t *testing.T) *Simulation {
+	t.Helper()
+	sim := Setup("cavity")
+	sim.SetGetMetaData(func(md *MetaData) {
+		md.AddMesh(MeshMetaData{Name: "grid", MeshType: "rectilinear", TopologicalDim: 3, SpatialDim: 3, NumberOfDomains: 1})
+		md.AddVariable(VariableMetaData{Name: "u", MeshName: "grid", Centering: "nodal", Components: 1})
+	})
+	sim.SetGetVariable(func(name string) (*VariableData, error) {
+		vd := &VariableData{}
+		vals := make([]float64, 4*4*4)
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		return vd, vd.SetData(4, 4, 4, vals)
+	})
+	return sim
+}
+
+func TestUpdatePlotsSynchronous(t *testing.T) {
+	sim := setupCoupled(t)
+	sim.TimeStepChanged(3)
+	if err := sim.UpdatePlots(); err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Results()
+	if len(res) != 1 || res[0].Field != "u" || res[0].Iteration != 3 {
+		t.Fatalf("results = %+v", res)
+	}
+	if sim.Updates() != 1 {
+		t.Fatalf("updates = %d", sim.Updates())
+	}
+}
+
+func TestUpdatePlotsRequiresCallbacks(t *testing.T) {
+	sim := Setup("bare")
+	if err := sim.UpdatePlots(); err == nil {
+		t.Fatal("missing callbacks accepted")
+	}
+}
+
+func TestSaveWindow(t *testing.T) {
+	sim := setupCoupled(t)
+	sim.TimeStepChanged(1)
+	if err := sim.UpdatePlots(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths, err := sim.SaveWindow(dir, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("saved %d images", len(paths))
+	}
+	if match, _ := filepath.Match(filepath.Join(dir, "test-u-cycle*.pgm"), paths[0]); !match {
+		t.Fatalf("unexpected image path %q", paths[0])
+	}
+}
+
+func TestSetDataValidation(t *testing.T) {
+	vd := &VariableData{}
+	if err := vd.SetData(2, 2, 2, make([]float64, 7)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
