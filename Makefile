@@ -1,0 +1,27 @@
+# Local and CI entry points — .github/workflows/ci.yml calls exactly
+# these targets, so a green `make ci` means a green workflow run.
+
+GO ?= go
+
+.PHONY: build test vet fmt fmt-check bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build vet fmt-check test bench

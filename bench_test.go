@@ -14,8 +14,11 @@ package damaris
 import (
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/iostrat"
+	"repro/internal/storage"
+	"repro/internal/topology"
 )
 
 // benchOptions keeps every benchmark iteration at paper scale but with
@@ -241,5 +244,50 @@ func BenchmarkClientWritePath(b *testing.B) {
 			b.Fatal(err)
 		}
 		client.EndIteration(i)
+	}
+}
+
+// BenchmarkClusterAggregation measures the multi-node layer: 16 nodes
+// with two simulation cores each push one iteration through the binary
+// aggregation tree into the in-memory backend.
+func BenchmarkClusterAggregation(b *testing.B) {
+	xml := `<simulation name="clusterbench">
+	  <architecture><dedicated cores="1"/><buffer size="8388608"/></architecture>
+	  <data>
+	    <layout name="l" type="float64" dimensions="8192"/>
+	    <variable name="v" layout="l"/>
+	  </data>
+	</simulation>`
+	cfg, err := ParseConfigString(xml)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nodes, clients = 16, 2
+	data := make([]byte, 8192*8)
+	b.SetBytes(int64(len(data)) * nodes * clients)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := cluster.New(cluster.Config{
+			Platform: topology.Platform{Name: "bench", Nodes: nodes, CoresPerNode: clients + 1},
+			Meta:     cfg,
+			Fanout:   2,
+			Store:    storage.NewMemory(nil, 8, 1e9),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for n := 0; n < nodes; n++ {
+			for s := 0; s < clients; s++ {
+				cl := c.Client(n, s)
+				if err := cl.Write("v", 0, data); err != nil {
+					b.Fatal(err)
+				}
+				cl.EndIteration(0)
+			}
+		}
+		c.WaitIteration(0)
+		if err := c.Shutdown(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -10,6 +10,12 @@
 //	damaris-bench -quick          # small machine, fast smoke run
 //	damaris-bench -iters 8        # more output phases per run
 //	damaris-bench -csv out/       # also write each table as CSV
+//
+// Cluster-layer options (see internal/cluster and internal/storage):
+//
+//	damaris-bench -nodes 16       # one scale: a 16-node cluster
+//	damaris-bench -fanout 4       # cross-node k-ary aggregation tree
+//	damaris-bench -backend memory # storage backend: pfs, memory, sdf
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/topology"
 )
 
 func main() {
@@ -31,6 +38,10 @@ func main() {
 		iters    = flag.Int("iters", 0, "output phases per run (0 = default)")
 		platform = flag.String("platform", "kraken", "platform preset: kraken, grid5000, power5")
 		csvDir   = flag.String("csv", "", "directory to write per-table CSV files")
+		nodes    = flag.Int("nodes", 0, "replace the weak-scaling sweep with one scale of N nodes")
+		fanout   = flag.Int("fanout", 0, "cross-node aggregation tree fanout (>= 2 enables the cluster layer)")
+		backend  = flag.String("backend", "pfs", "storage backend: pfs, memory, sdf")
+		bdir     = flag.String("backend-dir", "out/sdf-objects", "artifact directory for the sdf backend")
 	)
 	flag.Parse()
 
@@ -42,6 +53,17 @@ func main() {
 	opts.Platform = *platform
 	if *iters > 0 {
 		opts.Iterations = *iters
+	}
+	opts.Fanout = *fanout
+	opts.Backend = *backend
+	opts.BackendDir = *bdir
+	if *nodes > 0 {
+		plat, ok := topology.ByName(*platform, *nodes)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
+			os.Exit(2)
+		}
+		opts.Scales = []int{plat.Cores()}
 	}
 
 	selected := map[string]bool{}

@@ -22,6 +22,37 @@
 // in-situ visualization) — lives in the external XML description, as in
 // the original middleware. See examples/ for complete programs and
 // internal/experiments for the paper's evaluation.
+//
+// # Multi-node quickstart
+//
+// Past one node, internal/cluster instantiates N such nodes from a
+// topology.Platform and wires their dedicated cores into a k-ary
+// cross-node aggregation forest. Leaf dedicated cores forward each
+// completed iteration's blocks upward, interior nodes batch their
+// subtree, and tree roots store one large sequential object per
+// iteration through a pluggable storage backend (internal/storage:
+// the discrete-event Lustre model, an in-memory store for tests, or
+// local SDF files):
+//
+//	cfg, _ := damaris.ParseConfigString(configXML)
+//	store := storage.NewMemory(nil, 8, 1e9) // or storage.NewSDF(...)
+//	c, _ := cluster.New(cluster.Config{
+//		Platform: topology.Platform{Nodes: 16, CoresPerNode: 4},
+//		Meta:     cfg,
+//		Fanout:   4, // children per interior node
+//		Store:    store,
+//	})
+//	client := c.Client(nodeID, coreID)
+//	client.Write("theta", it, thetaBytes)
+//	client.EndIteration(it)
+//	...
+//	c.WaitIteration(lastIt)
+//	c.Shutdown()
+//
+// Cluster-wide end-of-iteration plugins (cluster.Hook) run at the tree
+// roots with the merged batch. examples/cluster is the runnable
+// version; `damaris-bench -nodes 16 -fanout 4 -backend memory` drives
+// the paper's experiments through the same layer.
 package damaris
 
 import (

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Block is one variable block as it travels up the aggregation tree:
+// the payload plus enough identity to reassemble the global view.
+type Block struct {
+	Node     int    // node the block originated on
+	Source   int    // simulation core within that node
+	Variable string // variable name
+	Data     []byte // payload (copied out of shared memory)
+}
+
+// Batch is the unit forwarded between dedicated cores: every block of
+// one iteration produced by a subtree.
+type Batch struct {
+	Iteration int
+	Blocks    []Block
+}
+
+// Bytes returns the total payload size of the batch.
+func (b *Batch) Bytes() int {
+	n := 0
+	for _, blk := range b.Blocks {
+		n += len(blk.Data)
+	}
+	return n
+}
+
+// merge absorbs another batch of the same iteration.
+func (b *Batch) merge(o *Batch) {
+	b.Blocks = append(b.Blocks, o.Blocks...)
+}
+
+// normalize sorts blocks by (node, source, variable) so encoded batches
+// are identical regardless of arrival order.
+func (b *Batch) normalize() {
+	sort.Slice(b.Blocks, func(i, j int) bool {
+		x, y := b.Blocks[i], b.Blocks[j]
+		if x.Node != y.Node {
+			return x.Node < y.Node
+		}
+		if x.Source != y.Source {
+			return x.Source < y.Source
+		}
+		return x.Variable < y.Variable
+	})
+}
+
+var batchMagic = []byte("DMB1")
+
+// EncodeBatch serializes a batch into the flat object format the tree
+// roots hand to the storage backend. Blocks are normalized first, so
+// equal batches encode to equal bytes.
+func EncodeBatch(b *Batch) []byte {
+	b.normalize()
+	var buf bytes.Buffer
+	buf.Write(batchMagic)
+	writeU32 := func(v uint32) { binary.Write(&buf, binary.LittleEndian, v) }
+	writeU32(uint32(b.Iteration))
+	writeU32(uint32(len(b.Blocks)))
+	for _, blk := range b.Blocks {
+		writeU32(uint32(blk.Node))
+		writeU32(uint32(blk.Source))
+		writeU32(uint32(len(blk.Variable)))
+		buf.WriteString(blk.Variable)
+		writeU32(uint32(len(blk.Data)))
+		buf.Write(blk.Data)
+	}
+	return buf.Bytes()
+}
+
+// DecodeBatch parses an object produced by EncodeBatch.
+func DecodeBatch(data []byte) (*Batch, error) {
+	r := bytes.NewReader(data)
+	head := make([]byte, len(batchMagic))
+	if _, err := r.Read(head); err != nil || !bytes.Equal(head, batchMagic) {
+		return nil, fmt.Errorf("cluster: not a batch object")
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	it, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: truncated batch header")
+	}
+	n, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: truncated batch header")
+	}
+	b := &Batch{Iteration: int(it)}
+	for i := uint32(0); i < n; i++ {
+		var blk Block
+		node, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: truncated block %d", i)
+		}
+		src, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: truncated block %d", i)
+		}
+		blk.Node, blk.Source = int(node), int(src)
+		vlen, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: truncated block %d", i)
+		}
+		// Bound every length by the bytes actually left so a corrupted
+		// length field cannot trigger a giant allocation.
+		if int64(vlen) > int64(r.Len()) {
+			return nil, fmt.Errorf("cluster: truncated variable name in block %d", i)
+		}
+		vbuf := make([]byte, vlen)
+		if _, err := io.ReadFull(r, vbuf); err != nil {
+			return nil, fmt.Errorf("cluster: truncated variable name in block %d", i)
+		}
+		blk.Variable = string(vbuf)
+		dlen, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: truncated block %d", i)
+		}
+		if int64(dlen) > int64(r.Len()) {
+			return nil, fmt.Errorf("cluster: truncated payload in block %d", i)
+		}
+		blk.Data = make([]byte, dlen)
+		if _, err := io.ReadFull(r, blk.Data); err != nil {
+			return nil, fmt.Errorf("cluster: truncated payload in block %d", i)
+		}
+		b.Blocks = append(b.Blocks, blk)
+	}
+	return b, nil
+}

@@ -1,0 +1,377 @@
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/meta"
+	"repro/internal/storage"
+	"repro/internal/topology"
+)
+
+// Hook is a cluster-wide end-of-iteration plugin: it runs at a tree
+// root once that root's whole subtree has delivered an iteration, with
+// the merged batch still in memory.
+type Hook interface {
+	// Name identifies the hook in errors.
+	Name() string
+	// OnIteration sees the merged batch before it is stored.
+	OnIteration(it int, b *Batch) error
+}
+
+// HookFunc adapts a function to the Hook interface.
+type HookFunc struct {
+	HookName string
+	Fn       func(it int, b *Batch) error
+}
+
+// Name implements Hook.
+func (h HookFunc) Name() string { return h.HookName }
+
+// OnIteration implements Hook.
+func (h HookFunc) OnIteration(it int, b *Batch) error { return h.Fn(it, b) }
+
+// Config describes a cluster run.
+type Config struct {
+	// Platform sizes the cluster: Nodes core.Node instances with
+	// CoresPerNode-DedicatedPerNode simulation clients each.
+	Platform topology.Platform
+	// Meta is the per-node Damaris XML configuration.
+	Meta *meta.Config
+	// DedicatedPerNode is the number of cores per node devoted to data
+	// management (default 1).
+	DedicatedPerNode int
+	// Fanout is the children-per-node limit of the aggregation trees
+	// (default 2).
+	Fanout int
+	// Roots is the number of aggregation trees; each root writes its
+	// subtree's merged iterations (default 1).
+	Roots int
+	// Store receives the root objects; any storage.Backend works.
+	Store storage.ObjectStore
+	// JobName prefixes object names (default Meta.Name).
+	JobName string
+	// OutputDir is passed to each node for its local plugins.
+	OutputDir string
+	// Logger defaults to a silent logger.
+	Logger *log.Logger
+	// Hooks run at tree roots on every merged iteration.
+	Hooks []Hook
+}
+
+// Stats aggregates what the cluster measured.
+type Stats struct {
+	// BatchesForwarded counts node→parent transfers.
+	BatchesForwarded int
+	// BytesForwarded is the payload volume of those transfers.
+	BytesForwarded int64
+	// ObjectsWritten counts root objects handed to the store.
+	ObjectsWritten int
+	// ObjectBytes is the encoded size of those objects.
+	ObjectBytes int64
+	// IterationsCompleted counts iterations all roots finished.
+	IterationsCompleted int
+	// PartialIterations counts iterations flushed at shutdown without
+	// the full subtree contribution (data loss tolerated, as in the
+	// paper's skip policy).
+	PartialIterations int
+}
+
+// Cluster is a multi-node Damaris deployment: N per-node middleware
+// instances plus the cross-node aggregation layer.
+type Cluster struct {
+	cfg   Config
+	tree  Tree
+	nodes []*core.Node
+	aggs  []*aggregator
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	stats     Stats
+	errs      []error
+	doneRoots map[int]int // iteration → roots that emitted it
+	iterDone  *sync.Cond
+}
+
+// New builds and starts the cluster: every node's shared-memory
+// runtime, the forwarding plugin on each dedicated core, and one
+// aggregator per node.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Platform.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: platform has %d nodes", cfg.Platform.Nodes)
+	}
+	if cfg.Meta == nil {
+		return nil, fmt.Errorf("cluster: nil meta config")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("cluster: nil object store")
+	}
+	if cfg.DedicatedPerNode <= 0 {
+		cfg.DedicatedPerNode = 1
+	}
+	clients := cfg.Platform.CoresPerNode - cfg.DedicatedPerNode
+	if clients <= 0 {
+		return nil, fmt.Errorf("cluster: %d cores/node leaves no simulation cores",
+			cfg.Platform.CoresPerNode)
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 2
+	}
+	if cfg.Roots <= 0 {
+		cfg.Roots = 1
+	}
+	if cfg.JobName == "" {
+		cfg.JobName = cfg.Meta.Name
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(nullWriter{}, "", 0)
+	}
+
+	c := &Cluster{
+		cfg:       cfg,
+		tree:      NewTree(cfg.Platform.Nodes, cfg.Fanout, cfg.Roots),
+		nodes:     make([]*core.Node, cfg.Platform.Nodes),
+		aggs:      make([]*aggregator, cfg.Platform.Nodes),
+		doneRoots: map[int]int{},
+	}
+	c.iterDone = sync.NewCond(&c.mu)
+
+	for i := range c.aggs {
+		c.aggs[i] = &aggregator{
+			cluster: c,
+			node:    i,
+			// Producers: the node's own forwarder plus every child
+			// aggregator; the inbox closes after one eof from each.
+			expect:  1 + len(c.tree.Children(i)),
+			inbox:   make(chan aggMsg, 8),
+			pending: map[int]*pendingIter{},
+		}
+	}
+	for i := range c.nodes {
+		nodeID := i
+		opts := core.Options{
+			NodeID:    nodeID,
+			OutputDir: cfg.OutputDir,
+			Logger:    cfg.Logger,
+			ExtraPlugins: map[string][]core.Plugin{
+				"end_iteration": {&forwarder{agg: c.aggs[nodeID]}},
+			},
+		}
+		n, err := core.NewNode(cfg.Meta, clients, opts)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				c.nodes[j].Shutdown()
+			}
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		c.nodes[i] = n
+	}
+	for _, a := range c.aggs {
+		c.wg.Add(1)
+		go a.run()
+	}
+	return c, nil
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// Tree returns the aggregation topology.
+func (c *Cluster) Tree() Tree { return c.tree }
+
+// Nodes returns the number of nodes.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Node returns one node's middleware instance.
+func (c *Cluster) Node(i int) *core.Node { return c.nodes[i] }
+
+// Client returns the handle for simulation core source on node i.
+func (c *Cluster) Client(node, source int) *core.Client {
+	return c.nodes[node].Client(source)
+}
+
+// Stats returns a snapshot of the cluster counters.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Errors returns the aggregation/store/hook errors collected so far.
+func (c *Cluster) Errors() []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]error(nil), c.errs...)
+}
+
+// WaitIteration blocks until every tree root has stored iteration it.
+func (c *Cluster) WaitIteration(it int) {
+	roots := len(c.tree.Roots())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.doneRoots[it] < roots {
+		c.iterDone.Wait()
+	}
+}
+
+// Shutdown drains every node, flushes the aggregation trees and
+// returns the first error observed anywhere in the cluster.
+func (c *Cluster) Shutdown() error {
+	var first error
+	for i, n := range c.nodes {
+		// Draining the node runs every queued end_iteration, so the
+		// forwarder has delivered everything before the eof below.
+		if err := n.Shutdown(); err != nil && first == nil {
+			first = fmt.Errorf("node %d: %w", i, err)
+		}
+		c.aggs[i].inbox <- aggMsg{eof: true}
+	}
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if first == nil && len(c.errs) > 0 {
+		first = c.errs[0]
+	}
+	return first
+}
+
+func (c *Cluster) fail(err error) {
+	c.mu.Lock()
+	c.errs = append(c.errs, err)
+	c.mu.Unlock()
+	c.cfg.Logger.Printf("cluster: %v", err)
+}
+
+// markRootDone records one root having stored an iteration.
+func (c *Cluster) markRootDone(it int) {
+	roots := len(c.tree.Roots())
+	c.mu.Lock()
+	c.doneRoots[it]++
+	if c.doneRoots[it] == roots {
+		c.stats.IterationsCompleted++
+	}
+	c.mu.Unlock()
+	c.iterDone.Broadcast()
+}
+
+// forwarder is the per-node plugin that snapshots a completed
+// iteration out of shared memory and hands it to the aggregation
+// layer. It runs on the dedicated core, before the node frees the
+// iteration's blocks.
+type forwarder struct{ agg *aggregator }
+
+// Name implements core.Plugin.
+func (f *forwarder) Name() string { return "cluster-forward" }
+
+// OnEvent implements core.Plugin.
+func (f *forwarder) OnEvent(ctx *core.PluginContext, ev core.Event) error {
+	refs := ctx.Index.Iteration(ev.Iteration)
+	b := &Batch{Iteration: ev.Iteration}
+	for _, ref := range refs {
+		b.Blocks = append(b.Blocks, Block{
+			Node:     ctx.NodeID,
+			Source:   ref.Key.Source,
+			Variable: ref.Key.Variable,
+			// The node frees the shared-memory block right after the
+			// plugins return; the copy decouples aggregation from it.
+			Data: append([]byte(nil), ctx.BlockBytes(ref)...),
+		})
+	}
+	f.agg.inbox <- aggMsg{batch: b}
+	return nil
+}
+
+// aggMsg is one message into an aggregator: a batch, or a producer's
+// end-of-stream marker.
+type aggMsg struct {
+	batch *Batch
+	eof   bool
+}
+
+// pendingIter accumulates one iteration's contributions at a node.
+type pendingIter struct {
+	batch *Batch
+	got   int
+}
+
+// aggregator is one node's position in the aggregation tree: it merges
+// the node's own iteration batches with its children's and forwards
+// the result upward, or stores it when the node is a root.
+type aggregator struct {
+	cluster *Cluster
+	node    int
+	expect  int
+	inbox   chan aggMsg
+	pending map[int]*pendingIter
+}
+
+func (a *aggregator) run() {
+	defer a.cluster.wg.Done()
+	c := a.cluster
+	eofs := 0
+	for eofs < a.expect {
+		msg := <-a.inbox
+		if msg.eof {
+			eofs++
+			continue
+		}
+		p := a.pending[msg.batch.Iteration]
+		if p == nil {
+			p = &pendingIter{batch: &Batch{Iteration: msg.batch.Iteration}}
+			a.pending[msg.batch.Iteration] = p
+		}
+		p.batch.merge(msg.batch)
+		p.got++
+		if p.got == a.expect {
+			delete(a.pending, msg.batch.Iteration)
+			a.emit(p.batch)
+		}
+	}
+	// Every producer is done: flush incomplete iterations upward
+	// rather than losing them silently (partial data beats no data —
+	// the same trade the §V.C skip policy makes).
+	for it, p := range a.pending {
+		c.mu.Lock()
+		c.stats.PartialIterations++
+		c.mu.Unlock()
+		delete(a.pending, it)
+		a.emit(p.batch)
+	}
+	if parent, ok := c.tree.Parent(a.node); ok {
+		c.aggs[parent].inbox <- aggMsg{eof: true}
+	}
+}
+
+// emit sends a merged batch to the parent, or stores it at a root.
+func (a *aggregator) emit(b *Batch) {
+	c := a.cluster
+	if parent, ok := c.tree.Parent(a.node); ok {
+		c.mu.Lock()
+		c.stats.BatchesForwarded++
+		c.stats.BytesForwarded += int64(b.Bytes())
+		c.mu.Unlock()
+		c.aggs[parent].inbox <- aggMsg{batch: b}
+		return
+	}
+	// Root: cluster-wide hooks see the merged subtree, then the batch
+	// becomes one large sequential object on the backend.
+	for _, h := range c.cfg.Hooks {
+		if err := h.OnIteration(b.Iteration, b); err != nil {
+			c.fail(fmt.Errorf("hook %q on iteration %d: %w", h.Name(), b.Iteration, err))
+		}
+	}
+	obj := EncodeBatch(b)
+	name := fmt.Sprintf("%s-root%03d-it%06d", c.cfg.JobName, a.node, b.Iteration)
+	if err := c.cfg.Store.Put(name, obj); err != nil {
+		c.fail(fmt.Errorf("storing %s: %w", name, err))
+	} else {
+		c.mu.Lock()
+		c.stats.ObjectsWritten++
+		c.stats.ObjectBytes += int64(len(obj))
+		c.mu.Unlock()
+	}
+	c.markRootDone(b.Iteration)
+}

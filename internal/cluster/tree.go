@@ -1,0 +1,140 @@
+// Package cluster scales the middleware past one SMP node: it
+// instantiates N core.Nodes from a topology.Platform and wires their
+// dedicated cores into a forest of k-ary aggregation trees. Leaf
+// dedicated cores forward each completed iteration's blocks to their
+// parent; interior nodes batch the subtree's blocks into bigger
+// payloads; tree roots issue few large sequential streams to a
+// storage.Backend and drive cluster-wide end-of-iteration hooks.
+//
+// The same Tree arithmetic also routes the discrete-event model of the
+// strategies in internal/iostrat, so simulated and runtime clusters
+// aggregate along identical topologies.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tree is a forest of complete k-ary aggregation trees over node ids
+// 0..N-1. Nodes are partitioned into contiguous subtrees, one per root;
+// within a subtree, heap indexing defines parent/child edges.
+type Tree struct {
+	n      int
+	fanout int
+	starts []int // first node id of each subtree, ascending
+}
+
+// NewTree builds a forest over n nodes with the given fanout (children
+// per interior node, min 1) and number of roots (clamped to [1, n]).
+func NewTree(n, fanout, roots int) Tree {
+	if n <= 0 {
+		panic(fmt.Sprintf("cluster: tree over %d nodes", n))
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	if roots < 1 {
+		roots = 1
+	}
+	if roots > n {
+		roots = n
+	}
+	starts := make([]int, roots)
+	base, extra := n/roots, n%roots
+	off := 0
+	for s := range starts {
+		starts[s] = off
+		off += base
+		if s < extra {
+			off++
+		}
+	}
+	return Tree{n: n, fanout: fanout, starts: starts}
+}
+
+// Nodes returns the number of nodes in the forest.
+func (t Tree) Nodes() int { return t.n }
+
+// Fanout returns the children-per-node limit.
+func (t Tree) Fanout() int { return t.fanout }
+
+// Roots returns the root node ids, ascending.
+func (t Tree) Roots() []int { return append([]int(nil), t.starts...) }
+
+// subtree returns the start and size of the subtree containing node i.
+func (t Tree) subtree(i int) (start, size int) {
+	t.check(i)
+	// Last start <= i.
+	s := sort.SearchInts(t.starts, i+1) - 1
+	start = t.starts[s]
+	if s+1 < len(t.starts) {
+		size = t.starts[s+1] - start
+	} else {
+		size = t.n - start
+	}
+	return start, size
+}
+
+func (t Tree) check(i int) {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("cluster: node %d out of range [0,%d)", i, t.n))
+	}
+}
+
+// Parent returns the parent of node i, or ok=false when i is a root.
+func (t Tree) Parent(i int) (parent int, ok bool) {
+	start, _ := t.subtree(i)
+	l := i - start
+	if l == 0 {
+		return 0, false
+	}
+	return start + (l-1)/t.fanout, true
+}
+
+// Children returns the child node ids of node i (empty for leaves).
+func (t Tree) Children(i int) []int {
+	start, size := t.subtree(i)
+	l := i - start
+	var kids []int
+	for c := t.fanout*l + 1; c <= t.fanout*l+t.fanout && c < size; c++ {
+		kids = append(kids, start+c)
+	}
+	return kids
+}
+
+// IsRoot reports whether node i is a subtree root.
+func (t Tree) IsRoot(i int) bool {
+	_, ok := t.Parent(i)
+	return !ok
+}
+
+// IsLeaf reports whether node i has no children.
+func (t Tree) IsLeaf(i int) bool { return len(t.Children(i)) == 0 }
+
+// RootOf returns the root of the subtree containing node i.
+func (t Tree) RootOf(i int) int {
+	start, _ := t.subtree(i)
+	return start
+}
+
+// Depth returns the number of levels of the deepest subtree (1 when
+// every node is a root).
+func (t Tree) Depth() int {
+	max := 0
+	for i := 0; i < t.n; i++ {
+		d := 1
+		for j := i; ; {
+			p, ok := t.Parent(j)
+			if !ok {
+				break
+			}
+			j = p
+			d++
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -31,16 +31,12 @@ func RunE1(opts Options) (E1Result, error) {
 	}
 	table := stats.NewTable(
 		fmt.Sprintf("run time per approach, %s, %d output phases", opts.Platform, opts.Iterations),
-		"cores", "approach", "total_s", "mean_io_s", "max_io_s", "io_frac", "speedup_vs_collective")
+		"cores", "approach", "total_s", "mean_io_s", "max_io_s", "io_frac", "thr_GB_s",
+		"speedup_vs_collective")
 
 	for _, cores := range opts.Scales {
-		plat := opts.platformFor(cores)
 		byApproach := make(map[iostrat.Approach]iostrat.Result, len(approaches))
-		cfg := iostrat.Config{
-			Platform: plat,
-			Workload: iostrat.CM1Workload(opts.Iterations),
-			Seed:     opts.Seed + uint64(cores),
-		}
+		cfg := opts.strategyConfig(cores)
 		for _, a := range approaches {
 			r, err := iostrat.Run(a, cfg)
 			if err != nil {
@@ -53,7 +49,7 @@ func RunE1(opts Options) (E1Result, error) {
 		for _, a := range approaches {
 			r := byApproach[a]
 			table.AddRow(cores, string(a), r.TotalTime, r.MeanIOTime(), r.MaxIOTime(),
-				r.IOFraction(), coll.TotalTime/r.TotalTime)
+				r.IOFraction(), stats.GB(r.Throughput()), coll.TotalTime/r.TotalTime)
 		}
 	}
 	res.Tables = []*stats.Table{table}

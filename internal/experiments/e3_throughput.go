@@ -19,11 +19,7 @@ func RunE3(opts Options) (Report, error) {
 		"approach", "GB_written", "io_window_s", "throughput_GB_s", "files")
 
 	byApproach := make(map[iostrat.Approach]iostrat.Result)
-	cfg := iostrat.Config{
-		Platform: opts.platformFor(cores),
-		Workload: iostrat.CM1Workload(opts.Iterations),
-		Seed:     opts.Seed + uint64(cores),
-	}
+	cfg := opts.strategyConfig(cores)
 	for _, a := range approaches {
 		r, err := iostrat.Run(a, cfg)
 		if err != nil {

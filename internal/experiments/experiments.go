@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/iostrat"
 	"repro/internal/stats"
+	"repro/internal/storage"
 	"repro/internal/topology"
 )
 
@@ -30,6 +32,15 @@ type Options struct {
 	Scales []int
 	// Platform names the preset machine (default "kraken").
 	Platform string
+	// Backend selects the storage backend the strategies write through
+	// ("pfs" default, "memory", "sdf") — see internal/storage.
+	Backend string
+	// BackendDir is the artifact directory for the sdf backend.
+	BackendDir string
+	// Fanout, when >= 2, routes the Damaris strategy through the
+	// cross-node aggregation tree of internal/cluster instead of the
+	// one-file-per-node baseline.
+	Fanout int
 }
 
 // Default returns the paper-scale options: the Kraken sweep up to 9216
@@ -82,6 +93,20 @@ func (o Options) platformFor(cores int) topology.Platform {
 			cores, p.CoresPerNode))
 	}
 	return p.WithNodes(cores / p.CoresPerNode)
+}
+
+// strategyConfig builds the iostrat configuration for one scale,
+// carrying the backend and cross-node aggregation options through so
+// the sweep runs on the cluster layer when they are set.
+func (o Options) strategyConfig(cores int) iostrat.Config {
+	return iostrat.Config{
+		Platform:   o.platformFor(cores),
+		Workload:   iostrat.CM1Workload(o.Iterations),
+		Seed:       o.Seed + uint64(cores),
+		Backend:    storage.Kind(o.Backend),
+		BackendDir: o.BackendDir,
+		Fanout:     o.Fanout,
+	}
 }
 
 // maxScale returns the largest core count in the sweep.

@@ -4,8 +4,8 @@ import (
 	"math"
 
 	"repro/internal/des"
-	"repro/internal/pfs"
 	"repro/internal/rng"
+	"repro/internal/storage"
 )
 
 // runCollective models two-phase collective I/O into a single shared file
@@ -16,10 +16,13 @@ import (
 // ~nAggs/nOSTs interleaved shared-file streams under extent locking, and
 // the barrier lets the slowest OST pace everyone — the two mechanisms
 // behind the approach's collapse at scale.
-func runCollective(cfg Config) Result {
+func runCollective(cfg Config) (Result, error) {
 	eng := des.NewEngine()
 	root := rng.New(cfg.Seed, 2)
-	fs := pfs.New(eng, cfg.Platform.PFS, root.Named("pfs"))
+	be, err := cfg.newBackend(eng, root.Named("pfs"))
+	if err != nil {
+		return Result{}, err
+	}
 
 	plat := cfg.Platform
 	w := cfg.Workload
@@ -28,7 +31,7 @@ func runCollective(cfg Config) Result {
 	nodeBytes := w.NodeBytes(plat.CoresPerNode)
 	rounds := int(math.Ceil(nodeBytes / cfg.CollectiveBuffer))
 
-	res := Result{Approach: Collective, Platform: plat, Workload: w}
+	res := Result{Approach: Collective, Platform: plat, Workload: w, Backend: cfg.Backend}
 	res.IOTimes = make([]float64, w.Iterations)
 	res.RankWriteTimes = make([]float64, 0, ranks*w.Iterations)
 
@@ -50,7 +53,7 @@ func runCollective(cfg Config) Result {
 				p.Wait(w.ComputeTime * compRng.UnitLogNormal(w.ComputeJitter))
 				p.Arrive(stepBarrier)
 				if rank == 0 {
-					fs.BeginPhase()
+					be.BeginPhase()
 					phaseStart[it] = p.Now()
 				}
 				t0 := p.Now()
@@ -59,9 +62,9 @@ func runCollective(cfg Config) Result {
 					p.Wait(nodeBytes/plat.NICBandwidth +
 						plat.NICLatency*float64(plat.CoresPerNode))
 					if aggIdx == 0 {
-						fs.Create(p) // the shared file
+						be.Create(p) // the shared file
 					}
-					fs.Open(p)
+					be.Open(p)
 					for round := 0; round < rounds; round++ {
 						chunk := cfg.CollectiveBuffer
 						if rem := nodeBytes - float64(round)*cfg.CollectiveBuffer; rem < chunk {
@@ -72,10 +75,10 @@ func runCollective(cfg Config) Result {
 						// their rounds independently (ROMIO does not
 						// barrier between rounds); the phase ends when the
 						// slowest aggregator finishes.
-						ost := (aggIdx + round*nAggs) % fs.OSTCount()
-						fs.WriteChunk(p, ost, chunk, pfs.SharedFile)
+						ost := (aggIdx + round*nAggs) % be.Targets()
+						be.WriteChunk(p, ost, chunk, storage.SharedFile)
 					}
-					fs.Close(p)
+					be.Close(p)
 					p.Arrive(aggDone)
 					if aggIdx == 0 {
 						phaseDone[it].Complete()
@@ -100,9 +103,10 @@ func runCollective(cfg Config) Result {
 	}
 	eng.Run()
 
-	res.BytesWritten = fs.TotalBytes()
-	res.IOWindow = fs.IOBusyTime()
+	acc := be.Accounting()
+	res.BytesWritten = acc.BytesWritten
+	res.IOWindow = acc.IOBusyTime
 	res.FilesCreated = w.Iterations
 	res.DrainTime = res.TotalTime
-	return res
+	return res, nil
 }

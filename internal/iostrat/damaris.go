@@ -1,9 +1,10 @@
 package iostrat
 
 import (
+	"repro/internal/cluster"
 	"repro/internal/des"
-	"repro/internal/pfs"
 	"repro/internal/rng"
+	"repro/internal/storage"
 )
 
 // nodeShm models one node's shared-memory segment between simulation
@@ -34,12 +35,24 @@ func (s *nodeShm) offer(it int, bytes float64) bool {
 	}
 	s.occupied += bytes
 	s.pending = append(s.pending, shmIter{iter: it, bytes: bytes})
+	s.wake()
+	return true
+}
+
+// offerEmpty enqueues a zero-byte marker for an iteration whose data was
+// dropped, keeping tree-mode dedicated cores in iteration lockstep: the
+// node still participates in the aggregation round, contributing nothing.
+func (s *nodeShm) offerEmpty(it int) {
+	s.pending = append(s.pending, shmIter{iter: it})
+	s.wake()
+}
+
+func (s *nodeShm) wake() {
 	if s.waiting != nil {
 		f := s.waiting
 		s.waiting = nil
 		f.Complete()
 	}
-	return true
 }
 
 // take blocks the dedicated core until data is pending, then dequeues one
@@ -64,25 +77,74 @@ func (s *nodeShm) free(bytes float64) { s.occupied -= bytes }
 // observe the closure.
 func (s *nodeShm) close() {
 	s.closed = true
-	if s.waiting != nil {
-		f := s.waiting
-		s.waiting = nil
+	s.wake()
+}
+
+// desAgg collects child-subtree contributions at one interior node of
+// the aggregation tree (the DES counterpart of cluster's aggregator):
+// the node's dedicated core awaits all children for an iteration before
+// merging and forwarding.
+type desAgg struct {
+	eng      *des.Engine
+	expected int
+	got      map[int]int
+	bytes    map[int]float64
+	waitIter int
+	waiting  *des.Future
+}
+
+func newDesAgg(eng *des.Engine, children int) *desAgg {
+	return &desAgg{eng: eng, expected: children, got: map[int]int{}, bytes: map[int]float64{}}
+}
+
+// deliver records one child's contribution for an iteration and wakes
+// the parked dedicated core when the set is complete.
+func (a *desAgg) deliver(it int, b float64) {
+	a.got[it]++
+	a.bytes[it] += b
+	if a.waiting != nil && it == a.waitIter && a.got[it] >= a.expected {
+		f := a.waiting
+		a.waiting = nil
 		f.Complete()
 	}
+}
+
+// await blocks until every child delivered iteration it, then returns
+// the merged subtree volume.
+func (a *desAgg) await(p *des.Proc, it int) float64 {
+	for a.got[it] < a.expected {
+		a.waitIter = it
+		a.waiting = a.eng.NewFuture()
+		p.Await(a.waiting)
+	}
+	b := a.bytes[it]
+	delete(a.got, it)
+	delete(a.bytes, it)
+	return b
 }
 
 // runDamaris models the Damaris approach: per node, CoresPerNode-D
 // simulation cores and D dedicated cores. Simulation cores pay only the
 // shared-memory write (bytes/ShmBandwidth + per-variable overhead); the
-// dedicated core asynchronously aggregates the node's output into
-// FilesPerIter big files per iteration and writes them overlapped with
-// the next compute phase. Because the node computes the same (weak-
-// scaling) problem on fewer cores, the compute phase stretches by
-// CoresPerNode/(CoresPerNode-D) — the paper's "slight impact".
-func runDamaris(cfg Config) Result {
+// dedicated core asynchronously aggregates the node's output and writes
+// it overlapped with the next compute phase. Because the node computes
+// the same (weak-scaling) problem on fewer cores, the compute phase
+// stretches by CoresPerNode/(CoresPerNode-D) — the paper's "slight
+// impact".
+//
+// With Fanout < 2 every node writes FilesPerIter files per iteration
+// (the paper's baseline). With Fanout >= 2 the dedicated cores form the
+// k-ary aggregation forest of internal/cluster: leaves forward their
+// node's iteration over the NIC, interior nodes batch their subtree,
+// and only tree roots touch the backend — few, large, striped
+// sequential streams.
+func runDamaris(cfg Config) (Result, error) {
 	eng := des.NewEngine()
 	root := rng.New(cfg.Seed, 3)
-	fs := pfs.New(eng, cfg.Platform.PFS, root.Named("pfs"))
+	be, err := cfg.newBackend(eng, root.Named("pfs"))
+	if err != nil {
+		return Result{}, err
+	}
 
 	plat := cfg.Platform
 	w := cfg.Workload
@@ -99,7 +161,23 @@ func runDamaris(cfg Config) Result {
 	nodeBytes := w.NodeBytes(plat.CoresPerNode)
 	bytesPerComputeRank := nodeBytes / float64(nComputeRanks/plat.Nodes)
 
-	res := Result{Approach: Damaris, Platform: plat, Workload: w}
+	treeMode := cfg.Fanout >= 2
+	var tree cluster.Tree
+	var aggs []*desAgg
+	var rootOrdinal map[int]int
+	if treeMode {
+		tree = cluster.NewTree(plat.Nodes, cfg.Fanout, cfg.AggRoots)
+		aggs = make([]*desAgg, plat.Nodes)
+		rootOrdinal = map[int]int{}
+		for n := 0; n < plat.Nodes; n++ {
+			aggs[n] = newDesAgg(eng, len(tree.Children(n)))
+		}
+		for i, r := range tree.Roots() {
+			rootOrdinal[r] = i
+		}
+	}
+
+	res := Result{Approach: Damaris, Platform: plat, Workload: w, Backend: cfg.Backend}
 	res.IOTimes = make([]float64, w.Iterations)
 	res.RankWriteTimes = make([]float64, 0, nComputeRanks*w.Iterations)
 
@@ -116,9 +194,9 @@ func runDamaris(cfg Config) Result {
 	var schedule writeScheduler
 	switch cfg.Scheduling {
 	case SchedOSTToken:
-		schedule = newOSTTokens(eng, fs.OSTCount())
+		schedule = newOSTTokens(eng, be.Targets())
 	case SchedGlobalToken:
-		schedule = newGlobalTokens(eng, fs.OSTCount())
+		schedule = newGlobalTokens(eng, be.Targets())
 	default:
 		schedule = nopScheduler{}
 	}
@@ -134,7 +212,7 @@ func runDamaris(cfg Config) Result {
 				p.Wait(computeTime * compRng.UnitLogNormal(w.ComputeJitter))
 				p.Arrive(stepBarrier)
 				if rank == 0 {
-					fs.BeginPhase()
+					be.BeginPhase()
 					phaseStart[it] = p.Now()
 				}
 				// The application-visible "I/O": copy the variables into
@@ -147,7 +225,11 @@ func runDamaris(cfg Config) Result {
 				// node's data to the dedicated core.
 				arrived[node][it]++
 				if arrived[node][it] == computePerNode {
-					shms[node].offer(it, nodeBytes)
+					if !shms[node].offer(it, nodeBytes) && treeMode {
+						// Data lost, but the node must still take part in
+						// the aggregation round.
+						shms[node].offerEmpty(it)
+					}
 				}
 				p.Arrive(stepBarrier)
 				if rank == 0 {
@@ -167,6 +249,12 @@ func runDamaris(cfg Config) Result {
 	// the same work, so busy time is attributed to the node's pool).
 	for n := 0; n < plat.Nodes; n++ {
 		node := n
+		if treeMode {
+			eng.Spawn("dedicated", func(p *des.Proc) {
+				runTreeNode(p, cfg, be, schedule, &res, tree, aggs, rootOrdinal, shms[node], node)
+			})
+			continue
+		}
 		eng.Spawn("dedicated", func(p *des.Proc) {
 			fileSeq := 0
 			for {
@@ -185,19 +273,19 @@ func runDamaris(cfg Config) Result {
 				}
 				files := cfg.FilesPerIter
 				per := payload / float64(files)
-				pat := pfs.BigSequential
+				pat := storage.BigSequential
 				if per < 64e6 {
-					pat = pfs.SmallFile
+					pat = storage.SmallFile
 				}
 				for f := 0; f < files; f++ {
 					// Usage-balanced allocation (Lustre QoS allocator):
 					// spread node files round-robin over the OSTs.
-					ost := (node + fileSeq*plat.Nodes) % fs.OSTCount()
+					ost := (node + fileSeq*plat.Nodes) % be.Targets()
 					fileSeq++
 					release := schedule.acquire(p, ost)
-					fs.Create(p)
-					fs.Write(p, ost, per, pat)
-					fs.Close(p)
+					be.Create(p)
+					be.Write(p, ost, per, pat)
+					be.Close(p)
 					release()
 					res.FilesCreated++
 				}
@@ -210,49 +298,98 @@ func runDamaris(cfg Config) Result {
 	drainEnd := eng.Run()
 	res.TotalTime = appEnd
 	res.DrainTime = drainEnd
-	res.BytesWritten = fs.TotalBytes()
-	res.IOWindow = fs.IOBusyTime()
+	acc := be.Accounting()
+	res.BytesWritten = acc.BytesWritten
+	res.IOWindow = acc.IOBusyTime
 	res.DedicatedTotal = float64(plat.Nodes*dedicated) * drainEnd
 	for _, s := range shms {
 		res.SkippedIters += s.skipped
 	}
-	return res
+	return res, nil
 }
 
-// writeScheduler coordinates dedicated-core writes (E6). acquire blocks
-// until the write may start and returns the matching release.
-type writeScheduler interface {
-	acquire(p *des.Proc, ost int) (release func())
-}
+// runTreeNode is one dedicated core's life in tree mode: per iteration,
+// merge the node's own output with the children's subtree volumes, then
+// either forward upward over the NIC or — at a root — stripe the merged
+// payload onto the backend as few large sequential streams.
+func runTreeNode(p *des.Proc, cfg Config, be storage.Backend, schedule writeScheduler,
+	res *Result, tree cluster.Tree, aggs []*desAgg, rootOrdinal map[int]int,
+	shm *nodeShm, node int) {
 
-type nopScheduler struct{}
-
-func (nopScheduler) acquire(*des.Proc, int) func() { return func() {} }
-
-// ostTokens serializes writers per OST.
-type ostTokens struct{ tokens []*des.Resource }
-
-func newOSTTokens(eng *des.Engine, n int) *ostTokens {
-	t := &ostTokens{tokens: make([]*des.Resource, n)}
-	for i := range t.tokens {
-		t.tokens[i] = eng.NewResource(1)
+	plat := cfg.Platform
+	children := tree.Children(node)
+	parent, hasParent := tree.Parent(node)
+	numRoots := len(tree.Roots())
+	stripes := cfg.RootStripes
+	if stripes <= 0 {
+		// Wide enough that the few root streams can saturate the
+		// target array, narrow enough to stay "few large streams".
+		stripes = be.Targets() / (2 * numRoots)
+		if stripes < 8 {
+			stripes = 8
+		}
+		if stripes > 64 {
+			stripes = 64
+		}
 	}
-	return t
-}
+	if stripes > be.Targets() {
+		stripes = be.Targets()
+	}
+	fileSeq := 0
 
-func (t *ostTokens) acquire(p *des.Proc, ost int) func() {
-	p.Acquire(t.tokens[ost], 1)
-	return func() { t.tokens[ost].Release(1) }
-}
+	for it := 0; it < cfg.Workload.Iterations; it++ {
+		item, ok := shm.take(p)
+		if !ok {
+			return
+		}
+		busy := 0.0
+		t0 := p.Now()
+		own := item.bytes
+		if cfg.CompressRatio > 1 && own > 0 {
+			p.Wait(own / cfg.CompressRate)
+			own /= cfg.CompressRatio
+		}
+		busy += p.Now() - t0
 
-// globalTokens bounds the number of concurrent dedicated-core writers.
-type globalTokens struct{ sem *des.Resource }
+		subtree := own
+		if len(children) > 0 {
+			// Awaiting stragglers is idle time, not work.
+			subtree += aggs[node].await(p, item.iter)
+		}
 
-func newGlobalTokens(eng *des.Engine, n int) *globalTokens {
-	return &globalTokens{sem: eng.NewResource(n)}
-}
-
-func (t *globalTokens) acquire(p *des.Proc, _ int) func() {
-	p.Acquire(t.sem, 1)
-	return func() { t.sem.Release(1) }
+		t1 := p.Now()
+		if hasParent {
+			if subtree > 0 {
+				// Store-and-forward: the sender serializes the batch onto
+				// its NIC; the parent sees it after latency.
+				p.Wait(subtree/plat.NICBandwidth + plat.NICLatency)
+			}
+			aggs[parent].deliver(item.iter, subtree)
+		} else if subtree > 0 {
+			files := cfg.FilesPerIter
+			per := subtree / float64(files)
+			for f := 0; f < files; f++ {
+				// Spread root files over the target array, stripes-wide
+				// windows per file so roots do not collide.
+				base := ((rootOrdinal[node] + fileSeq*numRoots) * stripes) % be.Targets()
+				fileSeq++
+				release := schedule.acquire(p, base)
+				be.Create(p)
+				futs := make([]*des.Future, stripes)
+				for s := 0; s < stripes; s++ {
+					futs[s] = be.WriteAsync((base+s)%be.Targets(), per/float64(stripes),
+						storage.BigSequential)
+				}
+				for _, f := range futs {
+					p.Await(f)
+				}
+				be.Close(p)
+				release()
+				res.FilesCreated++
+			}
+		}
+		busy += p.Now() - t1
+		shm.free(item.bytes)
+		res.DedicatedBusy += busy
+	}
 }

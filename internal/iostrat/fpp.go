@@ -2,8 +2,8 @@ package iostrat
 
 import (
 	"repro/internal/des"
-	"repro/internal/pfs"
 	"repro/internal/rng"
+	"repro/internal/storage"
 )
 
 // runFPP models the file-per-process approach: every rank creates and
@@ -11,16 +11,19 @@ import (
 // synchronization inside the phase, but the application is bulk-
 // synchronous, so the next compute phase starts only when every rank has
 // finished writing — the phase cost is the max over ranks.
-func runFPP(cfg Config) Result {
+func runFPP(cfg Config) (Result, error) {
 	eng := des.NewEngine()
 	root := rng.New(cfg.Seed, 1)
-	fs := pfs.New(eng, cfg.Platform.PFS, root.Named("pfs"))
+	be, err := cfg.newBackend(eng, root.Named("pfs"))
+	if err != nil {
+		return Result{}, err
+	}
 
 	plat := cfg.Platform
 	w := cfg.Workload
 	ranks := plat.Cores()
 
-	res := Result{Approach: FilePerProcess, Platform: plat, Workload: w}
+	res := Result{Approach: FilePerProcess, Platform: plat, Workload: w, Backend: cfg.Backend}
 	res.IOTimes = make([]float64, w.Iterations)
 	res.RankWriteTimes = make([]float64, 0, ranks*w.Iterations)
 
@@ -38,14 +41,14 @@ func runFPP(cfg Config) Result {
 				if rank == 0 {
 					// First process into the phase: fresh interference
 					// draws and the phase-start timestamp.
-					fs.BeginPhase()
+					be.BeginPhase()
 					phaseStart[it] = p.Now()
 				}
 				t0 := p.Now()
-				ost := fs.PlaceFile(1, placeRng)[0]
-				fs.Create(p)
-				fs.Write(p, ost, w.BytesPerCore, pfs.SmallFile)
-				fs.Close(p)
+				ost := be.PlaceFile(1, placeRng)[0]
+				be.Create(p)
+				be.Write(p, ost, w.BytesPerCore, storage.SmallFile)
+				be.Close(p)
 				res.RankWriteTimes = append(res.RankWriteTimes, p.Now()-t0)
 				p.Arrive(stepBarrier)
 				if rank == 0 {
@@ -59,9 +62,10 @@ func runFPP(cfg Config) Result {
 	}
 	eng.Run()
 
-	res.BytesWritten = fs.TotalBytes()
-	res.IOWindow = fs.IOBusyTime()
+	acc := be.Accounting()
+	res.BytesWritten = acc.BytesWritten
+	res.IOWindow = acc.IOBusyTime
 	res.FilesCreated = ranks * w.Iterations
 	res.DrainTime = res.TotalTime
-	return res
+	return res, nil
 }

@@ -18,8 +18,12 @@ package iostrat
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/des"
+	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/storage"
 	"repro/internal/topology"
 )
 
@@ -91,6 +95,13 @@ type Config struct {
 	Workload Workload
 	Seed     uint64
 
+	// Backend selects the storage model every strategy writes through
+	// (default storage.KindPFS, the paper's Lustre model).
+	Backend storage.Kind
+	// BackendDir is the artifact directory of the sdf backend (unused
+	// by the others).
+	BackendDir string
+
 	// Damaris options.
 
 	// DedicatedPerNode is the number of cores per node removed from
@@ -101,6 +112,22 @@ type Config struct {
 	ShmCapacity float64
 	// Scheduling coordinates dedicated-core writes (default SchedNone).
 	Scheduling Scheduling
+	// Fanout, when >= 2, routes dedicated-core output through the
+	// cross-node k-ary aggregation tree of internal/cluster: leaf
+	// dedicated cores forward their node's iteration over the NIC,
+	// interior nodes batch their subtree, and tree roots stripe few
+	// large sequential streams onto the backend. 0 or 1 keeps the
+	// paper's baseline of one file per node per iteration.
+	Fanout int
+	// AggRoots is the number of aggregation trees when Fanout >= 2
+	// (default: Nodes/Fanout², keeping trees about two levels deep so
+	// aggregation does not funnel the whole machine through one node).
+	AggRoots int
+	// RootStripes is how many backend targets each root write is
+	// striped over. The default scales with the storage system —
+	// Targets/(2·roots), clamped to [8, 64] — so few aggregated
+	// streams can still fill the OST array.
+	RootStripes int
 	// FilesPerIter is the number of files each dedicated core writes per
 	// iteration (default 1; the A2 ablation sweeps it).
 	FilesPerIter int
@@ -141,7 +168,21 @@ func (c Config) withDefaults() Config {
 	if c.CollectiveBuffer == 0 {
 		c.CollectiveBuffer = 16e6
 	}
+	if c.Backend == "" {
+		c.Backend = storage.KindPFS
+	}
+	if c.Fanout >= 2 && c.AggRoots == 0 {
+		c.AggRoots = c.Platform.Nodes / (c.Fanout * c.Fanout)
+		if c.AggRoots < 1 {
+			c.AggRoots = 1
+		}
+	}
 	return c
+}
+
+// newBackend builds the configured storage backend for one run.
+func (c Config) newBackend(eng *des.Engine, r *rng.Stream) (storage.Backend, error) {
+	return storage.New(c.Backend, eng, c.Platform, r, c.BackendDir)
 }
 
 // Result reports what one strategy run measured.
@@ -149,6 +190,8 @@ type Result struct {
 	Approach Approach
 	Platform topology.Platform
 	Workload Workload
+	// Backend is the storage model the run wrote through.
+	Backend storage.Kind
 
 	// TotalTime is the application run time: start until the last rank
 	// finishes its final iteration (dedicated-core draining excluded, as
@@ -220,16 +263,33 @@ func (r Result) IdleFraction() float64 {
 	return 1 - r.DedicatedBusy/r.DedicatedTotal
 }
 
+// RankByThroughput returns the given approaches sorted by their
+// measured value, best first — the cross-backend ordering contract the
+// cluster-layer tests assert.
+func RankByThroughput(th map[Approach]float64) []Approach {
+	ranked := make([]Approach, 0, len(th))
+	for a := range th {
+		ranked = append(ranked, a)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if th[ranked[i]] != th[ranked[j]] {
+			return th[ranked[i]] > th[ranked[j]]
+		}
+		return ranked[i] < ranked[j] // deterministic tiebreak
+	})
+	return ranked
+}
+
 // Run executes the named approach under cfg and returns its measurements.
 func Run(a Approach, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	switch a {
 	case FilePerProcess:
-		return runFPP(cfg), nil
+		return runFPP(cfg)
 	case Collective:
-		return runCollective(cfg), nil
+		return runCollective(cfg)
 	case Damaris:
-		return runDamaris(cfg), nil
+		return runDamaris(cfg)
 	default:
 		return Result{}, fmt.Errorf("iostrat: unknown approach %q", a)
 	}

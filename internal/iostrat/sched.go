@@ -1,0 +1,41 @@
+package iostrat
+
+import "repro/internal/des"
+
+// writeScheduler coordinates dedicated-core writes (E6). acquire blocks
+// until the write may start and returns the matching release.
+type writeScheduler interface {
+	acquire(p *des.Proc, ost int) (release func())
+}
+
+type nopScheduler struct{}
+
+func (nopScheduler) acquire(*des.Proc, int) func() { return func() {} }
+
+// ostTokens serializes writers per OST.
+type ostTokens struct{ tokens []*des.Resource }
+
+func newOSTTokens(eng *des.Engine, n int) *ostTokens {
+	t := &ostTokens{tokens: make([]*des.Resource, n)}
+	for i := range t.tokens {
+		t.tokens[i] = eng.NewResource(1)
+	}
+	return t
+}
+
+func (t *ostTokens) acquire(p *des.Proc, ost int) func() {
+	p.Acquire(t.tokens[ost], 1)
+	return func() { t.tokens[ost].Release(1) }
+}
+
+// globalTokens bounds the number of concurrent dedicated-core writers.
+type globalTokens struct{ sem *des.Resource }
+
+func newGlobalTokens(eng *des.Engine, n int) *globalTokens {
+	return &globalTokens{sem: eng.NewResource(n)}
+}
+
+func (t *globalTokens) acquire(p *des.Proc, _ int) func() {
+	p.Acquire(t.sem, 1)
+	return func() { t.sem.Release(1) }
+}

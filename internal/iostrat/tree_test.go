@@ -1,0 +1,198 @@
+package iostrat
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/topology"
+)
+
+// treeConfig returns a 16-node machine with cross-node aggregation on.
+func treeConfig() Config {
+	plat := topology.Kraken(16)
+	plat.PFS.OSTs = 32
+	w := CM1Workload(3)
+	w.ComputeTime = 50
+	return Config{Platform: plat, Workload: w, Seed: 7, Fanout: 4}
+}
+
+func TestDamarisTreeConservesBytes(t *testing.T) {
+	cfg := treeConfig()
+	res, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkippedIters > 0 {
+		t.Fatalf("unexpected skips: %d", res.SkippedIters)
+	}
+	want := cfg.Workload.NodeBytes(cfg.Platform.CoresPerNode) *
+		float64(cfg.Platform.Nodes) * float64(cfg.Workload.Iterations)
+	if res.BytesWritten < want*0.999 || res.BytesWritten > want*1.001 {
+		t.Errorf("tree mode wrote %v bytes, want %v", res.BytesWritten, want)
+	}
+}
+
+func TestDamarisTreeAggregatesFiles(t *testing.T) {
+	cfg := treeConfig()
+	base, err := Run(Damaris, Config{Platform: cfg.Platform, Workload: cfg.Workload, Seed: cfg.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 nodes, fanout 4 → 1 root: one file per iteration instead of 16.
+	if want := cfg.Workload.Iterations; tree.FilesCreated != want {
+		t.Errorf("tree mode created %d files, want %d", tree.FilesCreated, want)
+	}
+	if tree.FilesCreated >= base.FilesCreated {
+		t.Errorf("aggregation did not reduce file count: %d vs %d",
+			tree.FilesCreated, base.FilesCreated)
+	}
+	if base.BytesWritten != tree.BytesWritten {
+		t.Errorf("aggregation changed the payload: %v vs %v", tree.BytesWritten, base.BytesWritten)
+	}
+}
+
+func TestDamarisTreeHidesIO(t *testing.T) {
+	res, err := Run(Damaris, treeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanIOTime() > 1.0 {
+		t.Errorf("tree mode visible I/O phase = %v s, want well under a second", res.MeanIOTime())
+	}
+}
+
+func TestDamarisTreeDeterministic(t *testing.T) {
+	cfg := treeConfig()
+	r1, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalTime != r2.TotalTime || r1.BytesWritten != r2.BytesWritten ||
+		r1.DrainTime != r2.DrainTime {
+		t.Errorf("tree mode not deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestDamarisTreeSurvivesSkips(t *testing.T) {
+	cfg := treeConfig()
+	cfg.ShmCapacity = 1e6 // cannot hold one iteration: every node skips
+	res, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkippedIters == 0 {
+		t.Fatal("expected skips with a tiny segment")
+	}
+	// Zero-byte markers must keep the tree in lockstep: the run ends
+	// without a modeling deadlock and writes next to nothing.
+	if res.BytesWritten > 0 {
+		t.Errorf("skipped iterations still wrote %v bytes", res.BytesWritten)
+	}
+}
+
+func TestDamarisTreeMultiRoot(t *testing.T) {
+	cfg := treeConfig()
+	cfg.AggRoots = 4
+	res, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * cfg.Workload.Iterations; res.FilesCreated != want {
+		t.Errorf("4 roots created %d files, want %d", res.FilesCreated, want)
+	}
+}
+
+func TestDamarisTreeWithScheduling(t *testing.T) {
+	cfg := treeConfig()
+	cfg.Scheduling = SchedOSTToken
+	if _, err := Run(Damaris, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheduling = SchedGlobalToken
+	if _, err := Run(Damaris, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDamarisTreeCompression(t *testing.T) {
+	cfg := treeConfig()
+	cfg.CompressRatio = 2
+	res, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Workload.NodeBytes(cfg.Platform.CoresPerNode) *
+		float64(cfg.Platform.Nodes) * float64(cfg.Workload.Iterations) / 2
+	if res.BytesWritten < want*0.999 || res.BytesWritten > want*1.001 {
+		t.Errorf("compressed tree mode wrote %v bytes, want %v", res.BytesWritten, want)
+	}
+}
+
+// TestBackendSwapOrderingConsistent is the cross-backend contract: at
+// 16 simulated nodes, the aggregate-throughput ordering of the three
+// strategies must be the same whichever backend the run writes
+// through, with Damaris on top.
+func TestBackendSwapOrderingConsistent(t *testing.T) {
+	order := func(kind storage.Kind) []Approach {
+		cfg := treeConfig()
+		cfg.Backend = kind
+		th := map[Approach]float64{}
+		for _, a := range []Approach{FilePerProcess, Collective, Damaris} {
+			res, err := Run(a, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th[a] = res.Throughput()
+		}
+		ranked := RankByThroughput(th)
+		if ranked[0] != Damaris {
+			t.Errorf("%s: Damaris not on top: dam=%v fpp=%v coll=%v",
+				kind, th[Damaris], th[FilePerProcess], th[Collective])
+		}
+		return ranked
+	}
+	pfsOrder := order(storage.KindPFS)
+	memOrder := order(storage.KindMemory)
+	for i := range pfsOrder {
+		if pfsOrder[i] != memOrder[i] {
+			t.Fatalf("throughput ordering differs across backends: pfs=%v memory=%v",
+				pfsOrder, memOrder)
+		}
+	}
+}
+
+func TestMemoryBackendBitReproducible(t *testing.T) {
+	cfg := treeConfig()
+	cfg.Backend = storage.KindMemory
+	r1, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalTime != r2.TotalTime || r1.IOWindow != r2.IOWindow {
+		t.Error("memory backend runs differ")
+	}
+}
+
+func TestSDFBackendNeedsDir(t *testing.T) {
+	cfg := treeConfig()
+	cfg.Backend = storage.KindSDF
+	if _, err := Run(Damaris, cfg); err == nil {
+		t.Fatal("sdf backend without BackendDir should error")
+	}
+	cfg.BackendDir = t.TempDir()
+	if _, err := Run(Damaris, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+// simModel is the deterministic cost model shared by the memory and SDF
+// backends: per-target FIFO service at a fixed bandwidth, constant
+// pattern efficiencies, a per-file overhead and a constant metadata
+// service time. No jitter, no congestion — two runs are bit-identical.
+type simModel struct {
+	eng      *des.Engine
+	targets  []*des.Resource
+	metaRes  *des.Resource
+	bw       float64 // per-target bandwidth, bytes/s
+	metaTime float64 // seconds per metadata op
+	overhead float64 // seconds charged once per file stream
+
+	// Pattern efficiencies: the fraction of target bandwidth a stream
+	// of each pattern achieves. The ordering mirrors the pfs model
+	// (sequential > small files > shared-file extent locking) so the
+	// paper's strategy ranking survives a backend swap.
+	effSeq    float64
+	effSmall  float64
+	effShared float64
+
+	mu           sync.Mutex
+	bytesWritten float64
+	files        int
+	active       int
+	busySince    float64
+	busyTotal    float64
+}
+
+func newSimModel(eng *des.Engine, targets int, bandwidth float64) *simModel {
+	if targets <= 0 {
+		targets = 1
+	}
+	m := &simModel{
+		eng:       eng,
+		bw:        bandwidth,
+		metaTime:  1e-3,
+		overhead:  0.05,
+		effSeq:    1.0,
+		effSmall:  0.45,
+		effShared: 0.06,
+	}
+	if eng != nil {
+		m.targets = make([]*des.Resource, targets)
+		for i := range m.targets {
+			m.targets[i] = eng.NewResource(1)
+		}
+		m.metaRes = eng.NewResource(1)
+	}
+	return m
+}
+
+func (m *simModel) targetCount() int {
+	if m.targets == nil {
+		return 1
+	}
+	return len(m.targets)
+}
+
+func (m *simModel) eff(pat Pattern) float64 {
+	switch pat {
+	case SmallFile:
+		return m.effSmall
+	case SharedFile:
+		return m.effShared
+	default:
+		return m.effSeq
+	}
+}
+
+func (m *simModel) metaOp(p *des.Proc) {
+	p.Acquire(m.metaRes, 1)
+	p.Wait(m.metaTime)
+	m.metaRes.Release(1)
+}
+
+func (m *simModel) beginTransfer() {
+	m.mu.Lock()
+	if m.active == 0 {
+		m.busySince = m.eng.Now()
+	}
+	m.active++
+	m.mu.Unlock()
+}
+
+func (m *simModel) endTransfer(bytes float64) {
+	m.mu.Lock()
+	m.active--
+	if m.active == 0 {
+		m.busyTotal += m.eng.Now() - m.busySince
+	}
+	m.bytesWritten += bytes
+	m.mu.Unlock()
+}
+
+func (m *simModel) write(p *des.Proc, target int, bytes float64, pat Pattern, overhead float64) {
+	if bytes <= 0 {
+		return
+	}
+	t := m.targets[target%len(m.targets)]
+	p.Acquire(t, 1)
+	m.beginTransfer()
+	p.Wait(overhead + bytes/(m.bw*m.eff(pat)))
+	m.endTransfer(bytes)
+	t.Release(1)
+}
+
+func (m *simModel) writeAsync(target int, bytes float64, pat Pattern) *des.Future {
+	f := m.eng.NewFuture()
+	if bytes <= 0 {
+		f.Complete()
+		return f
+	}
+	m.eng.Spawn("storage-write", func(p *des.Proc) {
+		m.write(p, target, bytes, pat, m.overhead)
+		f.Complete()
+	})
+	return f
+}
+
+func (m *simModel) accounting() Accounting {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	busy := m.busyTotal
+	if m.active > 0 {
+		busy += m.eng.Now() - m.busySince
+	}
+	return Accounting{
+		BytesWritten: m.bytesWritten,
+		IOBusyTime:   busy,
+		FilesCreated: m.files,
+	}
+}
+
+// Memory is an in-memory backend: the deterministic cost model for the
+// simulated face, and a plain map for real objects. It is the fast,
+// reproducible choice for tests.
+type Memory struct {
+	*simModel
+
+	omu     sync.Mutex
+	objects map[string][]byte
+	objByte int64
+}
+
+// NewMemory builds a memory backend with the given number of targets
+// and per-target bandwidth. eng may be nil when only the object face
+// (Put/Object) is used.
+func NewMemory(eng *des.Engine, targets int, bandwidth float64) *Memory {
+	return &Memory{
+		simModel: newSimModel(eng, targets, bandwidth),
+		objects:  map[string][]byte{},
+	}
+}
+
+// Name implements Backend.
+func (b *Memory) Name() string { return string(KindMemory) }
+
+// Targets implements Backend.
+func (b *Memory) Targets() int { return b.targetCount() }
+
+// BeginPhase implements Backend (no congestion model: nothing to draw).
+func (b *Memory) BeginPhase() {}
+
+// Create implements Backend.
+func (b *Memory) Create(p *des.Proc) {
+	b.mu.Lock()
+	b.files++
+	b.mu.Unlock()
+	b.metaOp(p)
+}
+
+// Open implements Backend.
+func (b *Memory) Open(p *des.Proc) { b.metaOp(p) }
+
+// Close implements Backend.
+func (b *Memory) Close(p *des.Proc) { b.metaOp(p) }
+
+// Write implements Backend.
+func (b *Memory) Write(p *des.Proc, target int, bytes float64, pat Pattern) {
+	b.write(p, target, bytes, pat, b.overhead)
+}
+
+// WriteChunk implements Backend.
+func (b *Memory) WriteChunk(p *des.Proc, target int, bytes float64, pat Pattern) {
+	b.write(p, target, bytes, pat, 0)
+}
+
+// WriteAsync implements Backend.
+func (b *Memory) WriteAsync(target int, bytes float64, pat Pattern) *des.Future {
+	return b.writeAsync(target, bytes, pat)
+}
+
+// PlaceFile implements Backend: a reproducible random draw of targets.
+func (b *Memory) PlaceFile(stripes int, r *rng.Stream) []int {
+	return placeUniform(b.targetCount(), stripes, r)
+}
+
+// Put implements ObjectStore: the object is kept in memory.
+func (b *Memory) Put(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("storage: empty object name")
+	}
+	b.omu.Lock()
+	defer b.omu.Unlock()
+	if old, ok := b.objects[name]; ok {
+		b.objByte -= int64(len(old))
+	}
+	b.objects[name] = append([]byte(nil), data...)
+	b.objByte += int64(len(data))
+	return nil
+}
+
+// Object returns a stored object's bytes.
+func (b *Memory) Object(name string) ([]byte, bool) {
+	b.omu.Lock()
+	defer b.omu.Unlock()
+	d, ok := b.objects[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}
+
+// ObjectNames returns the names of all stored objects.
+func (b *Memory) ObjectNames() []string {
+	b.omu.Lock()
+	defer b.omu.Unlock()
+	names := make([]string, 0, len(b.objects))
+	for n := range b.objects {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Accounting implements Backend.
+func (b *Memory) Accounting() Accounting {
+	acc := b.simModel.accounting()
+	b.omu.Lock()
+	acc.Objects = len(b.objects)
+	acc.ObjectBytes = b.objByte
+	b.omu.Unlock()
+	return acc
+}
+
+// placeUniform draws stripes distinct targets out of n.
+func placeUniform(n, stripes int, r *rng.Stream) []int {
+	if stripes >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return r.Perm(n)[:stripes]
+}

@@ -1,0 +1,107 @@
+package storage
+
+import (
+	"sync"
+
+	"repro/internal/des"
+	"repro/internal/pfs"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// PFS adapts the discrete-event Lustre model to the Backend interface.
+// The simulated face delegates to pfs.FS; the real face (Put) has no
+// storage behind it — a pure model — so it only accounts the object.
+type PFS struct {
+	fs *pfs.FS
+
+	mu      sync.Mutex
+	creates int
+	objects int
+	objByte int64
+}
+
+// NewPFS wraps a fresh pfs.FS over the given parameters.
+func NewPFS(eng *des.Engine, params topology.PFSParams, r *rng.Stream) *PFS {
+	return &PFS{fs: pfs.New(eng, params, r)}
+}
+
+// FS exposes the underlying model (diagnostics, pfs-specific tests).
+func (b *PFS) FS() *pfs.FS { return b.fs }
+
+// Name implements Backend.
+func (b *PFS) Name() string { return string(KindPFS) }
+
+// Targets implements Backend.
+func (b *PFS) Targets() int { return b.fs.OSTCount() }
+
+// BeginPhase implements Backend: fresh per-OST congestion draws.
+func (b *PFS) BeginPhase() { b.fs.BeginPhase() }
+
+// Create implements Backend.
+func (b *PFS) Create(p *des.Proc) {
+	b.mu.Lock()
+	b.creates++
+	b.mu.Unlock()
+	b.fs.Create(p)
+}
+
+// Open implements Backend.
+func (b *PFS) Open(p *des.Proc) { b.fs.Open(p) }
+
+// Close implements Backend.
+func (b *PFS) Close(p *des.Proc) { b.fs.Close(p) }
+
+// Write implements Backend.
+func (b *PFS) Write(p *des.Proc, target int, bytes float64, pat Pattern) {
+	b.fs.Write(p, target%b.fs.OSTCount(), bytes, pfsPattern(pat))
+}
+
+// WriteChunk implements Backend.
+func (b *PFS) WriteChunk(p *des.Proc, target int, bytes float64, pat Pattern) {
+	b.fs.WriteChunk(p, target%b.fs.OSTCount(), bytes, pfsPattern(pat))
+}
+
+// WriteAsync implements Backend.
+func (b *PFS) WriteAsync(target int, bytes float64, pat Pattern) *des.Future {
+	return b.fs.WriteAsync(target%b.fs.OSTCount(), bytes, pfsPattern(pat))
+}
+
+// PlaceFile implements Backend (Lustre's randomized allocator).
+func (b *PFS) PlaceFile(stripes int, r *rng.Stream) []int {
+	return b.fs.PlaceFile(stripes, r)
+}
+
+// Put implements ObjectStore. The DES model stores no payloads, so the
+// object is accounted and dropped.
+func (b *PFS) Put(name string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.objects++
+	b.objByte += int64(len(data))
+	return nil
+}
+
+// Accounting implements Backend.
+func (b *PFS) Accounting() Accounting {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Accounting{
+		BytesWritten: b.fs.TotalBytes(),
+		IOBusyTime:   b.fs.IOBusyTime(),
+		FilesCreated: b.creates,
+		Objects:      b.objects,
+		ObjectBytes:  b.objByte,
+	}
+}
+
+func pfsPattern(p Pattern) pfs.Pattern {
+	switch p {
+	case SmallFile:
+		return pfs.SmallFile
+	case SharedFile:
+		return pfs.SharedFile
+	default:
+		return pfs.BigSequential
+	}
+}

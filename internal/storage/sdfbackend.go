@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/des"
+	"repro/internal/meta"
+	"repro/internal/rng"
+	"repro/internal/sdf"
+)
+
+// SDF is a local-filesystem backend: the same deterministic cost model
+// as Memory for the simulated face, and real SDF files (internal/sdf)
+// for objects — every Put lands as <dir>/<name>.sdf holding the object
+// bytes plus size/backend attributes, so small runs leave inspectable
+// artifacts that sdfdump can open.
+type SDF struct {
+	*simModel
+	dir string
+
+	omu     sync.Mutex
+	objects int
+	objByte int64
+}
+
+// NewSDF builds an SDF backend storing objects under dir (created if
+// missing). eng may be nil when only the object face is used. The
+// simulated face is priced below the memory backend (local disks are
+// slower than the modeled OST array).
+func NewSDF(eng *des.Engine, targets int, bandwidth float64, dir string) (*SDF, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("storage: sdf backend needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := newSimModel(eng, targets, bandwidth*0.8)
+	m.overhead = 0.08 // local fs: object creation costs more than RAM
+	return &SDF{simModel: m, dir: dir}, nil
+}
+
+// Dir returns the artifact directory.
+func (b *SDF) Dir() string { return b.dir }
+
+// Name implements Backend.
+func (b *SDF) Name() string { return string(KindSDF) }
+
+// Targets implements Backend.
+func (b *SDF) Targets() int { return b.targetCount() }
+
+// BeginPhase implements Backend.
+func (b *SDF) BeginPhase() {}
+
+// Create implements Backend.
+func (b *SDF) Create(p *des.Proc) {
+	b.mu.Lock()
+	b.files++
+	b.mu.Unlock()
+	b.metaOp(p)
+}
+
+// Open implements Backend.
+func (b *SDF) Open(p *des.Proc) { b.metaOp(p) }
+
+// Close implements Backend.
+func (b *SDF) Close(p *des.Proc) { b.metaOp(p) }
+
+// Write implements Backend.
+func (b *SDF) Write(p *des.Proc, target int, bytes float64, pat Pattern) {
+	b.write(p, target, bytes, pat, b.overhead)
+}
+
+// WriteChunk implements Backend.
+func (b *SDF) WriteChunk(p *des.Proc, target int, bytes float64, pat Pattern) {
+	b.write(p, target, bytes, pat, 0)
+}
+
+// WriteAsync implements Backend.
+func (b *SDF) WriteAsync(target int, bytes float64, pat Pattern) *des.Future {
+	return b.writeAsync(target, bytes, pat)
+}
+
+// PlaceFile implements Backend.
+func (b *SDF) PlaceFile(stripes int, r *rng.Stream) []int {
+	return placeUniform(b.targetCount(), stripes, r)
+}
+
+// Put implements ObjectStore: the object becomes one SDF file.
+func (b *SDF) Put(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("storage: empty object name")
+	}
+	w, err := sdf.Create(b.objectPath(name))
+	if err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		if err := w.WriteDataset("data", meta.Uint8, []int{len(data)}, data, "none"); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	w.SetAttrInt("", "size", int64(len(data)))
+	w.SetAttrString("", "backend", b.Name())
+	if err := w.Close(); err != nil {
+		return err
+	}
+	b.omu.Lock()
+	b.objects++
+	b.objByte += int64(len(data))
+	b.omu.Unlock()
+	return nil
+}
+
+// Object reads a stored object back from its SDF file.
+func (b *SDF) Object(name string) ([]byte, bool) {
+	r, err := sdf.Open(b.objectPath(name))
+	if err != nil {
+		return nil, false
+	}
+	defer r.Close()
+	if n, ok := r.AttrInt("", "size"); ok && n == 0 {
+		return []byte{}, true
+	}
+	data, err := r.ReadDataset("data")
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// ObjectNames lists the stored objects (file names minus the .sdf
+// extension).
+func (b *SDF) ObjectNames() []string {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".sdf"); ok && !e.IsDir() {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+func (b *SDF) objectPath(name string) string {
+	// Object names may carry slashes; flatten them so every object is
+	// one file directly under dir.
+	safe := strings.ReplaceAll(name, string(os.PathSeparator), "_")
+	return filepath.Join(b.dir, safe+".sdf")
+}
+
+// Accounting implements Backend.
+func (b *SDF) Accounting() Accounting {
+	acc := b.simModel.accounting()
+	b.omu.Lock()
+	acc.Objects = b.objects
+	acc.ObjectBytes = b.objByte
+	b.omu.Unlock()
+	return acc
+}

@@ -1,0 +1,146 @@
+// Package storage abstracts where aggregated output lands. The three
+// I/O strategies, the experiments and the cluster layer write through
+// the Backend interface instead of calling the pfs model directly, so a
+// run can target:
+//
+//   - the discrete-event Lustre model (KindPFS) — the paper's storage
+//     substrate with metadata serialization, pattern-dependent OST
+//     efficiency, jitter and congestion;
+//   - a deterministic in-memory model (KindMemory) — no jitter, fixed
+//     pattern efficiencies, fast and bit-reproducible, for tests;
+//   - a local-filesystem SDF store (KindSDF) — same deterministic cost
+//     model, but real objects are persisted as SDF files via
+//     internal/sdf, so small runs leave inspectable artifacts.
+//
+// A Backend has two faces. The simulated face (Create/Open/Close/Write,
+// *des.Proc-blocking) charges virtual time and feeds the cost
+// accounting; it is what the iostrat strategies drive. The real face
+// (Put) stores actual bytes and is what the runtime cluster layer and
+// plugins use; on the pure DES model it degrades to accounting only.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Pattern classifies a write stream's access pattern; it mirrors the
+// pfs patterns so every backend can price concurrency the same way.
+type Pattern int
+
+const (
+	// BigSequential is a large contiguous stream into its own file.
+	BigSequential Pattern = iota
+	// SmallFile is a per-process file written in small chunks.
+	SmallFile
+	// SharedFile is a write into a file shared with other clients,
+	// subject to extent-lock serialization.
+	SharedFile
+)
+
+// String returns the pattern name.
+func (p Pattern) String() string {
+	switch p {
+	case BigSequential:
+		return "big-sequential"
+	case SmallFile:
+		return "small-file"
+	case SharedFile:
+		return "shared-file"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Accounting is the cost ledger every backend maintains.
+type Accounting struct {
+	// BytesWritten is the completed simulated payload in bytes.
+	BytesWritten float64
+	// IOBusyTime is the union of time with at least one transfer in
+	// flight; BytesWritten/IOBusyTime is the achieved throughput.
+	IOBusyTime float64
+	// FilesCreated counts simulated file creates (metadata ops).
+	FilesCreated int
+	// Objects and ObjectBytes count real objects stored through Put.
+	Objects     int
+	ObjectBytes int64
+}
+
+// ObjectStore is the real-data face of a backend: store a named blob.
+// Every Backend implements it; consumers that only persist objects
+// (the cluster layer, plugins) should depend on this narrow interface.
+type ObjectStore interface {
+	// Put durably stores data under name. Implementations must be safe
+	// for concurrent use.
+	Put(name string, data []byte) error
+}
+
+// Backend is a storage target: simulated operations that charge virtual
+// time on a des.Proc, a real object path, and cost accounting.
+type Backend interface {
+	ObjectStore
+
+	// Name identifies the backend kind in logs and reports.
+	Name() string
+	// Targets returns the number of independent storage targets (OSTs,
+	// disks); placement indices are taken modulo this.
+	Targets() int
+	// BeginPhase marks the start of one application I/O phase (the pfs
+	// model redraws per-OST congestion there).
+	BeginPhase()
+
+	// Create, Open and Close are blocking metadata operations.
+	Create(p *des.Proc)
+	Open(p *des.Proc)
+	Close(p *des.Proc)
+
+	// Write blocks until a whole-file write of bytes with the given
+	// pattern to the target completes (per-file overhead charged).
+	Write(p *des.Proc, target int, bytes float64, pat Pattern)
+	// WriteChunk is Write without the per-file overhead (one round of
+	// an already-open file).
+	WriteChunk(p *des.Proc, target int, bytes float64, pat Pattern)
+	// WriteAsync submits a whole-file write and returns a future
+	// completed when the transfer finishes.
+	WriteAsync(target int, bytes float64, pat Pattern) *des.Future
+
+	// PlaceFile chooses stripes distinct targets for a new file, drawn
+	// from r so placement is reproducible per caller.
+	PlaceFile(stripes int, r *rng.Stream) []int
+
+	// Accounting returns a snapshot of the cost ledger.
+	Accounting() Accounting
+}
+
+// Kind names a backend implementation.
+type Kind string
+
+// The built-in backends.
+const (
+	KindPFS    Kind = "pfs"
+	KindMemory Kind = "memory"
+	KindSDF    Kind = "sdf"
+)
+
+// Kinds lists the built-in backend kinds.
+func Kinds() []Kind { return []Kind{KindPFS, KindMemory, KindSDF} }
+
+// New builds the named backend sized for the platform's storage system.
+// eng is the DES engine of the run; r seeds stochastic models (only the
+// pfs backend draws from it); dir is the artifact directory of the SDF
+// backend (unused by the others).
+func New(kind Kind, eng *des.Engine, plat topology.Platform, r *rng.Stream, dir string) (Backend, error) {
+	switch kind {
+	case KindPFS, "":
+		return NewPFS(eng, plat.PFS, r), nil
+	case KindMemory:
+		return NewMemory(eng, plat.PFS.OSTs, plat.PFS.OSTBandwidth), nil
+	case KindSDF:
+		return NewSDF(eng, plat.PFS.OSTs, plat.PFS.OSTBandwidth, dir)
+	default:
+		return nil, fmt.Errorf("storage: unknown backend kind %q", kind)
+	}
+}

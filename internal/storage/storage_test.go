@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func testPlatform() topology.Platform {
+	p := topology.Kraken(4)
+	p.PFS.OSTs = 8
+	return p
+}
+
+func newBackend(t *testing.T, kind Kind, eng *des.Engine) Backend {
+	t.Helper()
+	b, err := New(kind, eng, testPlatform(), rng.New(7, 1), t.TempDir())
+	if err != nil {
+		t.Fatalf("New(%s): %v", kind, err)
+	}
+	return b
+}
+
+func TestNewUnknownKind(t *testing.T) {
+	if _, err := New("bogus", des.NewEngine(), testPlatform(), rng.New(1, 1), ""); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestSDFNeedsDir(t *testing.T) {
+	if _, err := NewSDF(des.NewEngine(), 4, 1e8, ""); err == nil {
+		t.Fatal("sdf backend without a directory should error")
+	}
+}
+
+// TestSimulatedFaceAccounting drives the full simulated life cycle on
+// every backend and checks the ledger.
+func TestSimulatedFaceAccounting(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			eng := des.NewEngine()
+			b := newBackend(t, kind, eng)
+			const files, perFile = 3, 5e6
+			eng.Spawn("writer", func(p *des.Proc) {
+				b.BeginPhase()
+				for i := 0; i < files; i++ {
+					b.Create(p)
+					b.Write(p, i, perFile, BigSequential)
+					b.Close(p)
+				}
+			})
+			end := eng.Run()
+			acc := b.Accounting()
+			if acc.BytesWritten != files*perFile {
+				t.Errorf("BytesWritten = %v, want %v", acc.BytesWritten, float64(files*perFile))
+			}
+			if acc.FilesCreated != files {
+				t.Errorf("FilesCreated = %d, want %d", acc.FilesCreated, files)
+			}
+			if acc.IOBusyTime <= 0 || acc.IOBusyTime > end {
+				t.Errorf("IOBusyTime = %v outside (0, %v]", acc.IOBusyTime, end)
+			}
+			if b.Targets() <= 0 {
+				t.Errorf("Targets = %d", b.Targets())
+			}
+		})
+	}
+}
+
+// TestWriteAsyncCompletes exercises the future-returning write path.
+func TestWriteAsyncCompletes(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			eng := des.NewEngine()
+			b := newBackend(t, kind, eng)
+			var done bool
+			eng.Spawn("writer", func(p *des.Proc) {
+				f := b.WriteAsync(0, 1e6, BigSequential)
+				p.Await(f)
+				done = true
+			})
+			eng.Run()
+			if !done {
+				t.Fatal("async write never completed")
+			}
+			if got := b.Accounting().BytesWritten; got != 1e6 {
+				t.Errorf("BytesWritten = %v, want 1e6", got)
+			}
+		})
+	}
+}
+
+// TestPatternOrdering checks that every backend prices the paper's three
+// access patterns in the same order: big-sequential streams beat small
+// files, which beat extent-locked shared files.
+func TestPatternOrdering(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			times := map[Pattern]float64{}
+			for _, pat := range []Pattern{BigSequential, SmallFile, SharedFile} {
+				eng := des.NewEngine()
+				b := newBackend(t, kind, eng)
+				// Several concurrent streams so pattern-dependent
+				// concurrency penalties apply.
+				for s := 0; s < 4; s++ {
+					target := s
+					eng.Spawn("writer", func(p *des.Proc) {
+						b.Write(p, target, 50e6, pat)
+					})
+				}
+				times[pat] = eng.Run()
+			}
+			if !(times[BigSequential] < times[SmallFile] && times[SmallFile] < times[SharedFile]) {
+				t.Errorf("pattern cost ordering violated: seq=%v small=%v shared=%v",
+					times[BigSequential], times[SmallFile], times[SharedFile])
+			}
+		})
+	}
+}
+
+// TestMemoryDeterminism: two identical memory-backend runs are
+// bit-identical (no stochastic inputs at all).
+func TestMemoryDeterminism(t *testing.T) {
+	run := func() (float64, Accounting) {
+		eng := des.NewEngine()
+		b := NewMemory(eng, 8, 1e8)
+		for s := 0; s < 6; s++ {
+			target := s
+			eng.Spawn("w", func(p *des.Proc) {
+				b.Create(p)
+				b.Write(p, target, 3e6, SmallFile)
+				b.Close(p)
+			})
+		}
+		return eng.Run(), b.Accounting()
+	}
+	t1, a1 := run()
+	t2, a2 := run()
+	if t1 != t2 || a1 != a2 {
+		t.Fatalf("memory backend not deterministic: %v/%v vs %v/%v", t1, a1, t2, a2)
+	}
+}
+
+// TestObjectRoundTrip stores and reads back real objects on the two
+// backends that persist payloads.
+func TestObjectRoundTrip(t *testing.T) {
+	mem := NewMemory(nil, 4, 1e8)
+	sdfB, err := NewSDF(nil, 4, 1e8, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type store interface {
+		Put(string, []byte) error
+		Object(string) ([]byte, bool)
+		ObjectNames() []string
+		Accounting() Accounting
+	}
+	for name, b := range map[string]store{"memory": mem, "sdf": sdfB} {
+		payload := []byte("damaris iteration payload \x00\x01\x02")
+		if err := b.Put("job-it000001", payload); err != nil {
+			t.Fatalf("%s: Put: %v", name, err)
+		}
+		if err := b.Put("empty", nil); err != nil {
+			t.Fatalf("%s: Put empty: %v", name, err)
+		}
+		got, ok := b.Object("job-it000001")
+		if !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("%s: Object round trip failed: ok=%v got=%q", name, ok, got)
+		}
+		if e, ok := b.Object("empty"); !ok || len(e) != 0 {
+			t.Fatalf("%s: empty object round trip failed", name)
+		}
+		if _, ok := b.Object("missing"); ok {
+			t.Fatalf("%s: missing object reported present", name)
+		}
+		if n := len(b.ObjectNames()); n != 2 {
+			t.Fatalf("%s: ObjectNames = %d, want 2", name, n)
+		}
+		acc := b.Accounting()
+		if acc.Objects != 2 || acc.ObjectBytes != int64(len(payload)) {
+			t.Fatalf("%s: object accounting = %+v", name, acc)
+		}
+		if err := b.Put("", []byte("x")); err == nil {
+			t.Fatalf("%s: empty name should error", name)
+		}
+	}
+}
+
+// TestPFSPutAccountsOnly: the DES model has no real storage; Put must
+// succeed and only move the ledger.
+func TestPFSPutAccountsOnly(t *testing.T) {
+	b := NewPFS(des.NewEngine(), testPlatform().PFS, rng.New(3, 1))
+	if err := b.Put("obj", make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	acc := b.Accounting()
+	if acc.Objects != 1 || acc.ObjectBytes != 128 {
+		t.Fatalf("accounting = %+v", acc)
+	}
+}
+
+func TestPlaceFile(t *testing.T) {
+	for _, kind := range Kinds() {
+		b := newBackend(t, kind, des.NewEngine())
+		r := rng.New(11, 2)
+		osts := b.PlaceFile(3, r)
+		if len(osts) != 3 {
+			t.Fatalf("%s: PlaceFile returned %d targets", kind, len(osts))
+		}
+		seen := map[int]bool{}
+		for _, o := range osts {
+			if o < 0 || o >= b.Targets() || seen[o] {
+				t.Fatalf("%s: bad placement %v", kind, osts)
+			}
+			seen[o] = true
+		}
+		if all := b.PlaceFile(b.Targets()+5, r); len(all) != b.Targets() {
+			t.Fatalf("%s: over-striping returned %d targets", kind, len(all))
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if BigSequential.String() != "big-sequential" || SmallFile.String() != "small-file" ||
+		SharedFile.String() != "shared-file" {
+		t.Error("pattern names wrong")
+	}
+	if Pattern(42).String() != "Pattern(42)" {
+		t.Error("unknown pattern formatting wrong")
+	}
+}
