@@ -3,13 +3,23 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check bench ci
+.PHONY: build test vet fmt fmt-check bench failure-race failure-smoke ci
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race ./...
+
+# Focused race-detector pass over the failure/re-routing paths (also
+# covered by `test`, kept separate so CI reports them distinctly).
+failure-race:
+	$(GO) test -race -run 'Failure|Reroute|Partial|Tree' ./internal/cluster ./internal/iostrat
+
+# F1 failure-injection experiment at smoke scale: small node count,
+# fixed seed, both the DES and the runtime cluster sweeps.
+failure-smoke:
+	$(GO) run ./cmd/damaris-bench -quick -exp f1
 
 vet:
 	$(GO) vet ./...
@@ -24,4 +34,4 @@ fmt-check:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build vet fmt-check test bench
+ci: build vet fmt-check test failure-race bench failure-smoke

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	damaris-bench                 # run everything at paper scale
-//	damaris-bench -exp e1,e3      # select experiments
+//	damaris-bench -exp e1,e3      # select experiments (f1: failure sweep)
 //	damaris-bench -quick          # small machine, fast smoke run
 //	damaris-bench -iters 8        # more output phases per run
 //	damaris-bench -csv out/       # also write each table as CSV
@@ -16,6 +16,7 @@
 //	damaris-bench -nodes 16       # one scale: a 16-node cluster
 //	damaris-bench -fanout 4       # cross-node k-ary aggregation tree
 //	damaris-bench -backend memory # storage backend: pfs, memory, sdf
+//	damaris-bench -fail-nodes 3,5 -fail-at 2   # kill nodes mid-run
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,16 +34,18 @@ import (
 
 func main() {
 	var (
-		expList  = flag.String("exp", "all", "comma-separated experiment ids (e1..e8,a1,a2) or 'all'")
-		quick    = flag.Bool("quick", false, "reduced scale for a fast smoke run")
-		seed     = flag.Uint64("seed", 2013, "root seed for all stochastic inputs")
-		iters    = flag.Int("iters", 0, "output phases per run (0 = default)")
-		platform = flag.String("platform", "kraken", "platform preset: kraken, grid5000, power5")
-		csvDir   = flag.String("csv", "", "directory to write per-table CSV files")
-		nodes    = flag.Int("nodes", 0, "replace the weak-scaling sweep with one scale of N nodes")
-		fanout   = flag.Int("fanout", 0, "cross-node aggregation tree fanout (>= 2 enables the cluster layer)")
-		backend  = flag.String("backend", "pfs", "storage backend: pfs, memory, sdf")
-		bdir     = flag.String("backend-dir", "out/sdf-objects", "artifact directory for the sdf backend")
+		expList   = flag.String("exp", "all", "comma-separated experiment ids (e1..e8,a1,a2,f1) or 'all'")
+		quick     = flag.Bool("quick", false, "reduced scale for a fast smoke run")
+		seed      = flag.Uint64("seed", 2013, "root seed for all stochastic inputs")
+		iters     = flag.Int("iters", 0, "output phases per run (0 = default)")
+		platform  = flag.String("platform", "kraken", "platform preset: kraken, grid5000, power5")
+		csvDir    = flag.String("csv", "", "directory to write per-table CSV files")
+		nodes     = flag.Int("nodes", 0, "replace the weak-scaling sweep with one scale of N nodes")
+		fanout    = flag.Int("fanout", 0, "cross-node aggregation tree fanout (>= 2 enables the cluster layer)")
+		backend   = flag.String("backend", "pfs", "storage backend: pfs, memory, sdf")
+		bdir      = flag.String("backend-dir", "out/sdf-objects", "artifact directory for the sdf backend")
+		failNodes = flag.String("fail-nodes", "", "comma-separated node ids to kill in tree-mode runs")
+		failAt    = flag.Int("fail-at", 0, "iteration at which -fail-nodes die")
 	)
 	flag.Parse()
 
@@ -57,6 +61,20 @@ func main() {
 	opts.Fanout = *fanout
 	opts.Backend = *backend
 	opts.BackendDir = *bdir
+	opts.FailAt = *failAt
+	if *failNodes != "" {
+		for _, part := range strings.Split(*failNodes, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -fail-nodes entry %q\n", part)
+				os.Exit(2)
+			}
+			opts.FailNodes = append(opts.FailNodes, id)
+		}
+		if opts.Fanout < 2 {
+			opts.Fanout = 2 // failures live in the aggregation tree
+		}
+	}
 	if *nodes > 0 {
 		plat, ok := topology.ByName(*platform, *nodes)
 		if !ok {
@@ -90,6 +108,7 @@ func main() {
 		{"e8", experiments.RunE8},
 		{"a1", experiments.RunA1},
 		{"a2", experiments.RunA2},
+		{"f1", experiments.RunF1},
 	}
 
 	failures := 0

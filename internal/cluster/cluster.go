@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"log"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -13,7 +14,9 @@ import (
 
 // Hook is a cluster-wide end-of-iteration plugin: it runs at a tree
 // root once that root's whole subtree has delivered an iteration, with
-// the merged batch still in memory.
+// the merged batch still in memory. The batch is normalized before the
+// hook runs, so hooks observe the same (node, source, variable) order
+// that EncodeBatch later stores, regardless of arrival order.
 type Hook interface {
 	// Name identifies the hook in errors.
 	Name() string
@@ -59,6 +62,13 @@ type Config struct {
 	Logger *log.Logger
 	// Hooks run at tree roots on every merged iteration.
 	Hooks []Hook
+	// Failures schedules node deaths (nil or empty: no failures). When
+	// a node's dedicated core reaches its scheduled iteration the node
+	// is killed: its own blocks from that iteration on are lost, its
+	// children re-route to its parent (or a promoted sibling when a
+	// root dies), and its in-flight merges drain toward the re-route
+	// target — see the package comment for the full semantics.
+	Failures *FailureSchedule
 }
 
 // Stats aggregates what the cluster measured.
@@ -71,27 +81,51 @@ type Stats struct {
 	ObjectsWritten int
 	// ObjectBytes is the encoded size of those objects.
 	ObjectBytes int64
-	// IterationsCompleted counts iterations all roots finished.
+	// IterationsCompleted counts iterations all live roots finished.
 	IterationsCompleted int
-	// PartialIterations counts iterations flushed at shutdown without
-	// the full subtree contribution (data loss tolerated, as in the
-	// paper's skip policy).
+	// PartialIterations counts the distinct iterations some root stored
+	// without its full live-subtree coverage (stragglers or orphaned
+	// data flushed at shutdown — data loss tolerated, as in the paper's
+	// skip policy). An iteration missing only dead nodes' data is not
+	// partial; that loss is visible in Completeness instead.
 	PartialIterations int
+	// NodesFailed counts nodes killed by the failure schedule.
+	NodesFailed int
+	// BlocksLost counts blocks that never reached a root object:
+	// produced on a dead node, or orphaned with nowhere to drain.
+	BlocksLost int
+	// ReroutedEdges counts tree edges moved by failures, including
+	// root promotions.
+	ReroutedEdges int
+	// Completeness maps iteration → fraction of the cluster's nodes
+	// whose blocks reached a stored root object for that iteration
+	// (1.0 for every iteration when nothing fails or straggles).
+	Completeness map[int]float64
 }
 
 // Cluster is a multi-node Damaris deployment: N per-node middleware
 // instances plus the cross-node aggregation layer.
 type Cluster struct {
 	cfg   Config
-	tree  Tree
 	nodes []*core.Node
 	aggs  []*aggregator
 	wg    sync.WaitGroup
 
+	// mu guards the tree (failures re-route it mid-run), the stats,
+	// and every aggregator mailbox; routing lookups and mailbox posts
+	// happen under the same critical section so a re-route is atomic
+	// with respect to in-flight deliveries.
 	mu        sync.Mutex
+	tree      Tree
+	failEpoch int // bumped by every killNode; invalidates coverage caches
 	stats     Stats
+	covered   map[int]int  // iteration → origin nodes stored at roots
+	partials  map[int]bool // iterations stored below full live coverage
+	completed map[int]bool // iterations done at every live root
+	failed    []bool       // node → killed by the schedule
+	exited    []bool       // node → aggregator goroutine returned
 	errs      []error
-	doneRoots map[int]int // iteration → roots that emitted it
+	doneRoots map[int]int // iteration → roots that stored it
 	iterDone  *sync.Cond
 }
 
@@ -134,19 +168,23 @@ func New(cfg Config) (*Cluster, error) {
 		tree:      NewTree(cfg.Platform.Nodes, cfg.Fanout, cfg.Roots),
 		nodes:     make([]*core.Node, cfg.Platform.Nodes),
 		aggs:      make([]*aggregator, cfg.Platform.Nodes),
+		covered:   map[int]int{},
+		partials:  map[int]bool{},
+		completed: map[int]bool{},
+		failed:    make([]bool, cfg.Platform.Nodes),
+		exited:    make([]bool, cfg.Platform.Nodes),
 		doneRoots: map[int]int{},
 	}
 	c.iterDone = sync.NewCond(&c.mu)
 
 	for i := range c.aggs {
 		c.aggs[i] = &aggregator{
-			cluster: c,
+			c:       c,
 			node:    i,
-			// Producers: the node's own forwarder plus every child
-			// aggregator; the inbox closes after one eof from each.
-			expect:  1 + len(c.tree.Children(i)),
-			inbox:   make(chan aggMsg, 8),
+			avail:   sync.NewCond(&c.mu),
 			pending: map[int]*pendingIter{},
+			eofFrom: map[int]bool{},
+			stored:  map[int]bool{},
 		}
 	}
 	for i := range c.nodes {
@@ -179,8 +217,13 @@ type nullWriter struct{}
 
 func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
 
-// Tree returns the aggregation topology.
-func (c *Cluster) Tree() Tree { return c.tree }
+// Tree returns a snapshot of the aggregation topology, including any
+// failure re-routing applied so far.
+func (c *Cluster) Tree() Tree {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tree.Clone()
+}
 
 // Nodes returns the number of nodes.
 func (c *Cluster) Nodes() int { return len(c.nodes) }
@@ -197,7 +240,12 @@ func (c *Cluster) Client(node, source int) *core.Client {
 func (c *Cluster) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	s := c.stats
+	s.Completeness = make(map[int]float64, len(c.covered))
+	for it, n := range c.covered {
+		s.Completeness[it] = float64(n) / float64(len(c.nodes))
+	}
+	return s
 }
 
 // Errors returns the aggregation/store/hook errors collected so far.
@@ -207,12 +255,14 @@ func (c *Cluster) Errors() []error {
 	return append([]error(nil), c.errs...)
 }
 
-// WaitIteration blocks until every tree root has stored iteration it.
+// WaitIteration blocks until every live tree root has stored iteration
+// it. A failure mid-wait shrinks the requirement to the surviving
+// roots, so a killed node cannot wedge the caller; when every root is
+// dead, nothing more will ever be stored and the wait returns.
 func (c *Cluster) WaitIteration(it int) {
-	roots := len(c.tree.Roots())
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for c.doneRoots[it] < roots {
+	for !c.completed[it] && len(c.tree.Roots()) > 0 {
 		c.iterDone.Wait()
 	}
 }
@@ -227,7 +277,9 @@ func (c *Cluster) Shutdown() error {
 		if err := n.Shutdown(); err != nil && first == nil {
 			first = fmt.Errorf("node %d: %w", i, err)
 		}
-		c.aggs[i].inbox <- aggMsg{eof: true}
+		c.mu.Lock()
+		c.postTo(i, aggMsg{eof: true, from: i})
+		c.mu.Unlock()
 	}
 	c.wg.Wait()
 	c.mu.Lock()
@@ -245,22 +297,75 @@ func (c *Cluster) fail(err error) {
 	c.cfg.Logger.Printf("cluster: %v", err)
 }
 
-// markRootDone records one root having stored an iteration.
-func (c *Cluster) markRootDone(it int) {
-	roots := len(c.tree.Roots())
+// killNode executes one scheduled death: atomically re-route the tree,
+// then tell the dead node's aggregator to flush and every survivor to
+// re-check completion against the shrunken coverage requirements.
+// blocksDropped are the dead node's own blocks for the triggering
+// iteration — the mid-iteration loss. Repeat calls (every later
+// iteration of the dead node) only account further dropped blocks.
+func (c *Cluster) killNode(d, blocksDropped int) {
 	c.mu.Lock()
-	c.doneRoots[it]++
-	if c.doneRoots[it] == roots {
-		c.stats.IterationsCompleted++
+	c.stats.BlocksLost += blocksDropped
+	if c.failed[d] {
+		c.mu.Unlock()
+		return
+	}
+	c.failed[d] = true
+	edges := c.tree.Fail(d)
+	c.failEpoch++
+	c.stats.NodesFailed++
+	c.stats.ReroutedEdges += len(edges)
+	c.postTo(d, aggMsg{die: true})
+	for i, a := range c.aggs {
+		if i != d && !c.exited[i] {
+			a.post(aggMsg{poke: true})
+		}
+	}
+	// Iterations waiting on the dead root's store may be complete now.
+	for it := range c.doneRoots {
+		c.checkIterComplete(it)
 	}
 	c.mu.Unlock()
 	c.iterDone.Broadcast()
+	c.cfg.Logger.Printf("cluster: node %d failed, %d edges re-routed", d, len(edges))
+}
+
+// postTo delivers a message to node i's aggregator, counting a batch as
+// lost when that aggregator already exited. Callers hold c.mu.
+func (c *Cluster) postTo(i int, m aggMsg) {
+	if c.exited[i] {
+		if m.batch != nil {
+			c.stats.BlocksLost += len(m.batch.Blocks)
+		}
+		return
+	}
+	c.aggs[i].post(m)
+}
+
+// noteRootStored records one root having stored an iteration. Callers
+// hold c.mu.
+func (c *Cluster) noteRootStored(it int) {
+	c.doneRoots[it]++
+	c.checkIterComplete(it)
+}
+
+// checkIterComplete marks an iteration completed once every live root
+// has stored it. A forest with no live roots left completes nothing —
+// WaitIteration observes that state directly instead. Callers hold
+// c.mu.
+func (c *Cluster) checkIterComplete(it int) {
+	roots := len(c.tree.Roots())
+	if roots > 0 && !c.completed[it] && c.doneRoots[it] >= roots {
+		c.completed[it] = true
+		c.stats.IterationsCompleted++
+	}
 }
 
 // forwarder is the per-node plugin that snapshots a completed
 // iteration out of shared memory and hands it to the aggregation
 // layer. It runs on the dedicated core, before the node frees the
-// iteration's blocks.
+// iteration's blocks. It is also the failure injection point: a node
+// scheduled to die at iteration k drops everything from k on.
 type forwarder struct{ agg *aggregator }
 
 // Name implements core.Plugin.
@@ -268,7 +373,12 @@ func (f *forwarder) Name() string { return "cluster-forward" }
 
 // OnEvent implements core.Plugin.
 func (f *forwarder) OnEvent(ctx *core.PluginContext, ev core.Event) error {
+	c := f.agg.c
 	refs := ctx.Index.Iteration(ev.Iteration)
+	if at, ok := c.cfg.Failures.At(f.agg.node); ok && ev.Iteration >= at {
+		c.killNode(f.agg.node, len(refs))
+		return nil
+	}
 	b := &Batch{Iteration: ev.Iteration}
 	for _, ref := range refs {
 		b.Blocks = append(b.Blocks, Block{
@@ -280,84 +390,260 @@ func (f *forwarder) OnEvent(ctx *core.PluginContext, ev core.Event) error {
 			Data: append([]byte(nil), ctx.BlockBytes(ref)...),
 		})
 	}
-	f.agg.inbox <- aggMsg{batch: b}
+	c.mu.Lock()
+	f.agg.post(aggMsg{batch: b, covers: []int{f.agg.node}, from: f.agg.node})
+	c.mu.Unlock()
 	return nil
 }
 
-// aggMsg is one message into an aggregator: a batch, or a producer's
-// end-of-stream marker.
+// aggMsg is one message into an aggregator's mailbox: a batch tagged
+// with the origin nodes it covers, a producer's end-of-stream marker, a
+// death order, or a poke to re-check completion after a re-route.
 type aggMsg struct {
-	batch *Batch
-	eof   bool
+	batch  *Batch
+	covers []int // origin node ids whose data the batch carries
+	from   int   // sending node (producer identity for eof)
+	eof    bool
+	die    bool
+	poke   bool
 }
 
 // pendingIter accumulates one iteration's contributions at a node.
 type pendingIter struct {
-	batch *Batch
-	got   int
+	batch   *Batch
+	covered map[int]bool // origin nodes merged so far
 }
 
 // aggregator is one node's position in the aggregation tree: it merges
 // the node's own iteration batches with its children's and forwards
-// the result upward, or stores it when the node is a root.
+// the result upward, or stores it when the node is a root. An
+// iteration is complete when its coverage set spans the node's live
+// subtree — a requirement that shrinks when nodes die, which is what
+// lets the forest re-route around failures without deadlocking.
 type aggregator struct {
-	cluster *Cluster
-	node    int
-	expect  int
-	inbox   chan aggMsg
-	pending map[int]*pendingIter
+	c     *Cluster
+	node  int
+	avail *sync.Cond // on c.mu
+	mbox  []aggMsg   // guarded by c.mu; unbounded so posts never block
+
+	// Goroutine-local state (only touched by run()).
+	pending  map[int]*pendingIter
+	eofFrom  map[int]bool
+	stored   map[int]bool // iterations this root has stored
+	dead     bool
+	reqCache []int // memoized live subtree, valid while reqEpoch holds
+	reqEpoch int
+}
+
+// post enqueues a message. Callers hold c.mu.
+func (a *aggregator) post(m aggMsg) {
+	a.mbox = append(a.mbox, m)
+	a.avail.Signal()
+}
+
+// recv dequeues the next message, blocking until one arrives.
+func (a *aggregator) recv() aggMsg {
+	a.c.mu.Lock()
+	for len(a.mbox) == 0 {
+		a.avail.Wait()
+	}
+	m := a.mbox[0]
+	a.mbox[0] = aggMsg{}
+	a.mbox = a.mbox[1:]
+	a.c.mu.Unlock()
+	return m
 }
 
 func (a *aggregator) run() {
-	defer a.cluster.wg.Done()
-	c := a.cluster
-	eofs := 0
-	for eofs < a.expect {
-		msg := <-a.inbox
-		if msg.eof {
-			eofs++
-			continue
+	c := a.c
+	for {
+		m := a.recv()
+		switch {
+		case m.die:
+			a.die()
+		case m.eof:
+			a.eofFrom[m.from] = true
+		case m.batch != nil:
+			if a.dead {
+				// Late delivery that raced the re-route: relay it toward
+				// the drain target, coverage intact.
+				a.drainUp(m.batch, m.covers)
+				continue
+			}
+			p := a.pending[m.batch.Iteration]
+			if p == nil {
+				p = &pendingIter{
+					batch:   &Batch{Iteration: m.batch.Iteration},
+					covered: map[int]bool{},
+				}
+				a.pending[m.batch.Iteration] = p
+			}
+			p.batch.merge(m.batch)
+			for _, n := range m.covers {
+				p.covered[n] = true
+			}
 		}
-		p := a.pending[msg.batch.Iteration]
-		if p == nil {
-			p = &pendingIter{batch: &Batch{Iteration: msg.batch.Iteration}}
-			a.pending[msg.batch.Iteration] = p
+		if !a.dead {
+			a.emitComplete()
 		}
-		p.batch.merge(msg.batch)
-		p.got++
-		if p.got == a.expect {
-			delete(a.pending, msg.batch.Iteration)
-			a.emit(p.batch)
+		if a.finished() {
+			break
 		}
 	}
-	// Every producer is done: flush incomplete iterations upward
-	// rather than losing them silently (partial data beats no data —
-	// the same trade the §V.C skip policy makes).
-	for it, p := range a.pending {
-		c.mu.Lock()
-		c.stats.PartialIterations++
-		c.mu.Unlock()
+	if !a.dead {
+		// Every producer is done: flush incomplete iterations upward
+		// rather than losing them silently (partial data beats no data —
+		// the same trade the §V.C skip policy makes).
+		for _, it := range a.pendingIterations() {
+			p := a.pending[it]
+			delete(a.pending, it)
+			a.emit(p.batch, p.covered, true)
+		}
+	}
+	c.mu.Lock()
+	if !a.dead {
+		if parent, ok := c.tree.Parent(a.node); ok {
+			c.postTo(parent, aggMsg{eof: true, from: a.node})
+		}
+	}
+	c.exited[a.node] = true
+	c.mu.Unlock()
+	c.wg.Done()
+}
+
+// die flushes the node's in-flight merges toward the drain target as
+// orphaned partials and switches the aggregator into relay mode.
+func (a *aggregator) die() {
+	a.dead = true
+	for _, it := range a.pendingIterations() {
+		p := a.pending[it]
 		delete(a.pending, it)
-		a.emit(p.batch)
-	}
-	if parent, ok := c.tree.Parent(a.node); ok {
-		c.aggs[parent].inbox <- aggMsg{eof: true}
+		a.drainUp(p.batch, sortedCovers(p.covered))
 	}
 }
 
-// emit sends a merged batch to the parent, or stores it at a root.
-func (a *aggregator) emit(b *Batch) {
-	c := a.cluster
-	if parent, ok := c.tree.Parent(a.node); ok {
-		c.mu.Lock()
+// pendingIterations returns the pending iteration numbers ascending,
+// so flush order (and stored partial objects) is deterministic.
+func (a *aggregator) pendingIterations() []int {
+	its := make([]int, 0, len(a.pending))
+	for it := range a.pending {
+		its = append(its, it)
+	}
+	sort.Ints(its)
+	return its
+}
+
+// finished reports whether every producer this aggregator still waits
+// on has signalled end-of-stream. A dead aggregator only waits for its
+// own node's eof (delivered by Shutdown); a live one also waits for
+// every currently live child that has not already exited. The mailbox
+// must be drained too: a child that exited may still have unprocessed
+// deliveries queued here, and they must be merged before the flush.
+func (a *aggregator) finished() bool {
+	if !a.eofFrom[a.node] {
+		return false
+	}
+	c := a.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(a.mbox) > 0 {
+		return false
+	}
+	if a.dead {
+		return true
+	}
+	for _, k := range c.tree.Children(a.node) {
+		if !a.eofFrom[k] && !c.exited[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// emitComplete emits every pending iteration whose coverage spans the
+// node's current live subtree. The subtree walk is memoized — the tree
+// only changes when a node dies, which bumps failEpoch.
+func (a *aggregator) emitComplete() {
+	c := a.c
+	c.mu.Lock()
+	if a.reqCache == nil || a.reqEpoch != c.failEpoch {
+		a.reqCache = c.tree.LiveSubtree(a.node)
+		a.reqEpoch = c.failEpoch
+	}
+	required := a.reqCache
+	var ready []int
+	for it, p := range a.pending {
+		if CoversAll(p.covered, required) {
+			ready = append(ready, it)
+		}
+	}
+	c.mu.Unlock()
+	sort.Ints(ready)
+	for _, it := range ready {
+		p := a.pending[it]
+		delete(a.pending, it)
+		a.emit(p.batch, p.covered, false)
+	}
+}
+
+func sortedCovers(covered map[int]bool) []int {
+	covers := make([]int, 0, len(covered))
+	for n := range covered {
+		covers = append(covers, n)
+	}
+	sort.Ints(covers)
+	return covers
+}
+
+// drainUp forwards a batch toward the dead node's drain target,
+// counting it as lost when there is none.
+func (a *aggregator) drainUp(b *Batch, covers []int) {
+	c := a.c
+	c.mu.Lock()
+	dest, ok := c.tree.DrainTarget(a.node)
+	if !ok {
+		c.stats.BlocksLost += len(b.Blocks)
+	} else {
 		c.stats.BatchesForwarded++
 		c.stats.BytesForwarded += int64(b.Bytes())
+		c.postTo(dest, aggMsg{batch: b, covers: covers, from: a.node})
+	}
+	c.mu.Unlock()
+}
+
+// emit sends a merged batch to the parent, or stores it at a root.
+// partial marks batches flushed without full live coverage.
+func (a *aggregator) emit(b *Batch, covered map[int]bool, partial bool) {
+	c := a.c
+	covers := sortedCovers(covered)
+	c.mu.Lock()
+	if c.failed[a.node] {
+		// Killed between recv and emit: the data still drains upward.
 		c.mu.Unlock()
-		c.aggs[parent].inbox <- aggMsg{batch: b}
+		a.drainUp(b, covers)
 		return
 	}
-	// Root: cluster-wide hooks see the merged subtree, then the batch
-	// becomes one large sequential object on the backend.
+	if parent, ok := c.tree.Parent(a.node); ok {
+		c.stats.BatchesForwarded++
+		c.stats.BytesForwarded += int64(b.Bytes())
+		c.postTo(parent, aggMsg{batch: b, covers: covers, from: a.node})
+		c.mu.Unlock()
+		return
+	}
+	if a.stored[b.Iteration] {
+		// A straggler for an iteration this root already stored: the
+		// object is immutable, so the late blocks are lost.
+		c.stats.BlocksLost += len(b.Blocks)
+		c.mu.Unlock()
+		return
+	}
+	a.stored[b.Iteration] = true
+	c.mu.Unlock()
+
+	// Root: normalize so hooks and the stored object agree on block
+	// order, run the cluster-wide hooks on the merged subtree, then the
+	// batch becomes one large sequential object on the backend.
+	b.normalize()
 	for _, h := range c.cfg.Hooks {
 		if err := h.OnIteration(b.Iteration, b); err != nil {
 			c.fail(fmt.Errorf("hook %q on iteration %d: %w", h.Name(), b.Iteration, err))
@@ -365,13 +651,26 @@ func (a *aggregator) emit(b *Batch) {
 	}
 	obj := EncodeBatch(b)
 	name := fmt.Sprintf("%s-root%03d-it%06d", c.cfg.JobName, a.node, b.Iteration)
-	if err := c.cfg.Store.Put(name, obj); err != nil {
-		c.fail(fmt.Errorf("storing %s: %w", name, err))
-	} else {
-		c.mu.Lock()
+	err := c.cfg.Store.Put(name, obj)
+	c.mu.Lock()
+	if err == nil {
+		// Coverage and partial accounting describe *stored* objects; a
+		// failed Put stored nothing, so the loss shows in Completeness.
 		c.stats.ObjectsWritten++
 		c.stats.ObjectBytes += int64(len(obj))
-		c.mu.Unlock()
+		c.covered[b.Iteration] += len(covers)
+		if partial {
+			c.partials[b.Iteration] = true
+			c.stats.PartialIterations = len(c.partials)
+		}
 	}
-	c.markRootDone(b.Iteration)
+	// Completion tracking is liveness, not accuracy: the root is done
+	// with this iteration either way, and waiters must not hang on a
+	// store error (the error itself surfaces through Errors/Shutdown).
+	c.noteRootStored(b.Iteration)
+	c.mu.Unlock()
+	c.iterDone.Broadcast()
+	if err != nil {
+		c.fail(fmt.Errorf("storing %s: %w", name, err))
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/iostrat"
 	"repro/internal/stats"
 	"repro/internal/storage"
@@ -41,6 +42,12 @@ type Options struct {
 	// cross-node aggregation tree of internal/cluster instead of the
 	// one-file-per-node baseline.
 	Fanout int
+	// FailNodes lists node ids to kill at iteration FailAt in every
+	// tree-mode Damaris run (the -fail-nodes/-fail-at bench flags).
+	// F1 sweeps its own failure rates regardless of these.
+	FailNodes []int
+	// FailAt is the death iteration for FailNodes (default 0).
+	FailAt int
 }
 
 // Default returns the paper-scale options: the Kraken sweep up to 9216
@@ -99,7 +106,7 @@ func (o Options) platformFor(cores int) topology.Platform {
 // carrying the backend and cross-node aggregation options through so
 // the sweep runs on the cluster layer when they are set.
 func (o Options) strategyConfig(cores int) iostrat.Config {
-	return iostrat.Config{
+	cfg := iostrat.Config{
 		Platform:   o.platformFor(cores),
 		Workload:   iostrat.CM1Workload(o.Iterations),
 		Seed:       o.Seed + uint64(cores),
@@ -107,6 +114,14 @@ func (o Options) strategyConfig(cores int) iostrat.Config {
 		BackendDir: o.BackendDir,
 		Fanout:     o.Fanout,
 	}
+	if len(o.FailNodes) > 0 {
+		sched := cluster.NewFailureSchedule()
+		for _, n := range o.FailNodes {
+			sched.Add(n, o.FailAt)
+		}
+		cfg.Failures = sched
+	}
+	return cfg
 }
 
 // maxScale returns the largest core count in the sweep.

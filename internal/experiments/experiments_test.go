@@ -284,3 +284,18 @@ func TestOtherPlatforms(t *testing.T) {
 		}
 	}
 }
+
+func TestF1Quick(t *testing.T) {
+	rep, err := RunF1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("F1 produced %d tables, want 2 (DES + runtime)", len(rep.Tables))
+	}
+	for _, c := range rep.Checks {
+		if !c.Pass() {
+			t.Errorf("check failed: %s", c)
+		}
+	}
+}

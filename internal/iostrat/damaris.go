@@ -1,6 +1,8 @@
 package iostrat
 
 import (
+	"sort"
+
 	"repro/internal/cluster"
 	"repro/internal/des"
 	"repro/internal/rng"
@@ -19,6 +21,8 @@ type nodeShm struct {
 	waiting  *des.Future // dedicated core parked on an empty queue
 	skipped  int
 	closed   bool
+	dead     bool    // node failed: offers are dropped, not skipped
+	lost     float64 // bytes dropped because the node was dead
 }
 
 type shmIter struct {
@@ -27,8 +31,13 @@ type shmIter struct {
 }
 
 // offer tries to enqueue an iteration's data; it reports false (and counts
-// a skip) when the segment cannot hold it.
+// a skip) when the segment cannot hold it. On a dead node the data is
+// dropped silently and accounted as failure loss, not as a skip.
 func (s *nodeShm) offer(it int, bytes float64) bool {
+	if s.dead {
+		s.lost += bytes
+		return true
+	}
 	if s.occupied+bytes > s.capacity {
 		s.skipped++
 		return false
@@ -43,8 +52,22 @@ func (s *nodeShm) offer(it int, bytes float64) bool {
 // dropped, keeping tree-mode dedicated cores in iteration lockstep: the
 // node still participates in the aggregation round, contributing nothing.
 func (s *nodeShm) offerEmpty(it int) {
+	if s.dead {
+		return
+	}
 	s.pending = append(s.pending, shmIter{iter: it})
 	s.wake()
+}
+
+// kill marks the node's I/O stack dead: queued and future offers are
+// dropped and charged to the failure loss.
+func (s *nodeShm) kill() {
+	for _, it := range s.pending {
+		s.lost += it.bytes
+	}
+	s.dead = true
+	s.pending = nil
+	s.occupied = 0
 }
 
 func (s *nodeShm) wake() {
@@ -80,47 +103,72 @@ func (s *nodeShm) close() {
 	s.wake()
 }
 
-// desAgg collects child-subtree contributions at one interior node of
-// the aggregation tree (the DES counterpart of cluster's aggregator):
-// the node's dedicated core awaits all children for an iteration before
-// merging and forwarding.
+// desAgg collects child-subtree contributions at one node of the
+// aggregation tree (the DES counterpart of cluster's aggregator). Like
+// the runtime aggregator it tracks coverage sets — which origin nodes
+// an iteration's delivered data spans — instead of counting against a
+// fixed child count, so failures that re-route children or shrink the
+// required coverage mid-run cannot wedge a parked dedicated core.
 type desAgg struct {
-	eng      *des.Engine
-	expected int
-	got      map[int]int
-	bytes    map[int]float64
-	waitIter int
-	waiting  *des.Future
+	eng     *des.Engine
+	covered map[int]map[int]bool // iteration → origin nodes delivered
+	bytes   map[int]float64
+	waiting *des.Future
 }
 
-func newDesAgg(eng *des.Engine, children int) *desAgg {
-	return &desAgg{eng: eng, expected: children, got: map[int]int{}, bytes: map[int]float64{}}
+func newDesAgg(eng *des.Engine) *desAgg {
+	return &desAgg{eng: eng, covered: map[int]map[int]bool{}, bytes: map[int]float64{}}
 }
 
-// deliver records one child's contribution for an iteration and wakes
-// the parked dedicated core when the set is complete.
-func (a *desAgg) deliver(it int, b float64) {
-	a.got[it]++
+// deliver records a contribution covering the given origin nodes for an
+// iteration and wakes the parked dedicated core to re-check.
+func (a *desAgg) deliver(it int, b float64, covers []int) {
+	m := a.covered[it]
+	if m == nil {
+		m = map[int]bool{}
+		a.covered[it] = m
+	}
+	for _, n := range covers {
+		m[n] = true
+	}
 	a.bytes[it] += b
-	if a.waiting != nil && it == a.waitIter && a.got[it] >= a.expected {
+	a.wake()
+}
+
+// wake unparks the dedicated core, if parked; it re-evaluates its
+// coverage requirement on resumption.
+func (a *desAgg) wake() {
+	if a.waiting != nil {
 		f := a.waiting
 		a.waiting = nil
 		f.Complete()
 	}
 }
 
-// await blocks until every child delivered iteration it, then returns
-// the merged subtree volume.
-func (a *desAgg) await(p *des.Proc, it int) float64 {
-	for a.got[it] < a.expected {
-		a.waitIter = it
+// await blocks until the delivered coverage for iteration it spans
+// required (re-evaluated after every wake — failures shrink it), then
+// consumes and returns the merged volume and its coverage set.
+func (a *desAgg) await(p *des.Proc, it int, required func() []int) (float64, []int) {
+	for !cluster.CoversAll(a.covered[it], required()) {
 		a.waiting = a.eng.NewFuture()
 		p.Await(a.waiting)
 	}
 	b := a.bytes[it]
-	delete(a.got, it)
+	covers := sortedIntKeys(a.covered[it])
+	delete(a.covered, it)
 	delete(a.bytes, it)
-	return b
+	return b, covers
+}
+
+// sortedIntKeys returns m's keys ascending: map iteration order must
+// never leak into the deterministic event schedule.
+func sortedIntKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // runDamaris models the Damaris approach: per node, CoresPerNode-D
@@ -165,16 +213,18 @@ func runDamaris(cfg Config) (Result, error) {
 	var tree cluster.Tree
 	var aggs []*desAgg
 	var rootOrdinal map[int]int
+	var rootCovered []int // per iteration, origin nodes reaching a root
 	if treeMode {
 		tree = cluster.NewTree(plat.Nodes, cfg.Fanout, cfg.AggRoots)
 		aggs = make([]*desAgg, plat.Nodes)
 		rootOrdinal = map[int]int{}
 		for n := 0; n < plat.Nodes; n++ {
-			aggs[n] = newDesAgg(eng, len(tree.Children(n)))
+			aggs[n] = newDesAgg(eng)
 		}
 		for i, r := range tree.Roots() {
 			rootOrdinal[r] = i
 		}
+		rootCovered = make([]int, w.Iterations)
 	}
 
 	res := Result{Approach: Damaris, Platform: plat, Workload: w, Backend: cfg.Backend}
@@ -251,7 +301,8 @@ func runDamaris(cfg Config) (Result, error) {
 		node := n
 		if treeMode {
 			eng.Spawn("dedicated", func(p *des.Proc) {
-				runTreeNode(p, cfg, be, schedule, &res, tree, aggs, rootOrdinal, shms[node], node)
+				runTreeNode(p, cfg, be, schedule, &res, &tree, aggs, rootOrdinal,
+					rootCovered, shms[node], node)
 			})
 			continue
 		}
@@ -305,20 +356,38 @@ func runDamaris(cfg Config) (Result, error) {
 	for _, s := range shms {
 		res.SkippedIters += s.skipped
 	}
+	if treeMode {
+		res.Completeness = make([]float64, w.Iterations)
+		for it := 0; it < w.Iterations; it++ {
+			res.Completeness[it] = float64(rootCovered[it]) / float64(plat.Nodes)
+		}
+		// Aggregations nobody consumed (their consumer died or moved on
+		// when the coverage requirement shrank) are lost payload, as is
+		// everything a dead node's shm dropped.
+		for _, a := range aggs {
+			for _, it := range sortedIntKeys(a.bytes) {
+				res.LostBytes += a.bytes[it]
+			}
+		}
+		for _, s := range shms {
+			res.LostBytes += s.lost
+		}
+	}
 	return res, nil
 }
 
 // runTreeNode is one dedicated core's life in tree mode: per iteration,
 // merge the node's own output with the children's subtree volumes, then
 // either forward upward over the NIC or — at a root — stripe the merged
-// payload onto the backend as few large sequential streams.
+// payload onto the backend as few large sequential streams. The parent
+// and the coverage requirement are re-read every iteration, because a
+// failure elsewhere can re-route this node or promote it to root
+// mid-run; a node's own scheduled death ends its loop.
 func runTreeNode(p *des.Proc, cfg Config, be storage.Backend, schedule writeScheduler,
-	res *Result, tree cluster.Tree, aggs []*desAgg, rootOrdinal map[int]int,
-	shm *nodeShm, node int) {
+	res *Result, tree *cluster.Tree, aggs []*desAgg, rootOrdinal map[int]int,
+	rootCovered []int, shm *nodeShm, node int) {
 
 	plat := cfg.Platform
-	children := tree.Children(node)
-	parent, hasParent := tree.Parent(node)
 	numRoots := len(tree.Roots())
 	stripes := cfg.RootStripes
 	if stripes <= 0 {
@@ -336,10 +405,27 @@ func runTreeNode(p *des.Proc, cfg Config, be storage.Backend, schedule writeSche
 		stripes = be.Targets()
 	}
 	fileSeq := 0
+	failAt, willFail := cfg.Failures.At(node)
+	// The coverage this node must merge before forwarding: its live
+	// subtree, minus itself (own output arrives through the shm loop).
+	required := func() []int {
+		subtree := tree.LiveSubtree(node)
+		req := subtree[:0]
+		for _, n := range subtree {
+			if n != node {
+				req = append(req, n)
+			}
+		}
+		return req
+	}
 
 	for it := 0; it < cfg.Workload.Iterations; it++ {
 		item, ok := shm.take(p)
 		if !ok {
+			return
+		}
+		if willFail && item.iter >= failAt {
+			failTreeNode(res, tree, aggs, rootOrdinal, shm, node, item)
 			return
 		}
 		busy := 0.0
@@ -351,45 +437,106 @@ func runTreeNode(p *des.Proc, cfg Config, be storage.Backend, schedule writeSche
 		}
 		busy += p.Now() - t0
 
-		subtree := own
-		if len(children) > 0 {
-			// Awaiting stragglers is idle time, not work.
-			subtree += aggs[node].await(p, item.iter)
-		}
+		// Awaiting stragglers is idle time, not work.
+		childBytes, covers := aggs[node].await(p, item.iter, required)
+		subtree := own + childBytes
+		covers = append(covers, node)
 
 		t1 := p.Now()
-		if hasParent {
+		if parent, hasParent := tree.Parent(node); hasParent {
 			if subtree > 0 {
 				// Store-and-forward: the sender serializes the batch onto
 				// its NIC; the parent sees it after latency.
 				p.Wait(subtree/plat.NICBandwidth + plat.NICLatency)
 			}
-			aggs[parent].deliver(item.iter, subtree)
-		} else if subtree > 0 {
-			files := cfg.FilesPerIter
-			per := subtree / float64(files)
-			for f := 0; f < files; f++ {
-				// Spread root files over the target array, stripes-wide
-				// windows per file so roots do not collide.
-				base := ((rootOrdinal[node] + fileSeq*numRoots) * stripes) % be.Targets()
-				fileSeq++
-				release := schedule.acquire(p, base)
-				be.Create(p)
-				futs := make([]*des.Future, stripes)
-				for s := 0; s < stripes; s++ {
-					futs[s] = be.WriteAsync((base+s)%be.Targets(), per/float64(stripes),
-						storage.BigSequential)
+			// The parent may have died during the transfer: relay along
+			// the drain chain, like the runtime cluster's dead relays.
+			deliverUp(tree, aggs, res, parent, item.iter, subtree, covers)
+		} else {
+			rootCovered[item.iter] += len(covers)
+			if subtree > 0 {
+				files := cfg.FilesPerIter
+				per := subtree / float64(files)
+				for f := 0; f < files; f++ {
+					// Spread root files over the target array, stripes-wide
+					// windows per file so roots do not collide.
+					base := ((rootOrdinal[node] + fileSeq*numRoots) * stripes) % be.Targets()
+					fileSeq++
+					release := schedule.acquire(p, base)
+					be.Create(p)
+					futs := make([]*des.Future, stripes)
+					for s := 0; s < stripes; s++ {
+						futs[s] = be.WriteAsync((base+s)%be.Targets(), per/float64(stripes),
+							storage.BigSequential)
+					}
+					for _, f := range futs {
+						p.Await(f)
+					}
+					be.Close(p)
+					release()
+					res.FilesCreated++
 				}
-				for _, f := range futs {
-					p.Await(f)
-				}
-				be.Close(p)
-				release()
-				res.FilesCreated++
 			}
 		}
 		busy += p.Now() - t1
 		shm.free(item.bytes)
 		res.DedicatedBusy += busy
+	}
+}
+
+// deliverUp hands a merged batch to dest's aggregator, chasing the
+// drain chain when dest died mid-transfer; a batch with no live
+// destination is lost.
+func deliverUp(tree *cluster.Tree, aggs []*desAgg, res *Result, dest, it int,
+	b float64, covers []int) {
+
+	for !tree.Alive(dest) {
+		next, ok := tree.DrainTarget(dest)
+		if !ok {
+			res.LostBytes += b
+			return
+		}
+		dest = next
+	}
+	aggs[dest].deliver(it, b, covers)
+}
+
+// failTreeNode executes one scheduled death on the DES side, mirroring
+// Cluster.killNode: re-route the tree, hand the dead node's in-flight
+// aggregations to the drain target with their coverage intact, account
+// the lost own output, and wake every parked dedicated core so it
+// re-checks its (now smaller) coverage requirement.
+func failTreeNode(res *Result, tree *cluster.Tree, aggs []*desAgg,
+	rootOrdinal map[int]int, shm *nodeShm, node int, item shmIter) {
+
+	wasRoot := tree.IsRoot(node)
+	edges := tree.Fail(node)
+	res.NodesFailed++
+	res.ReroutedEdges += len(edges)
+	if wasRoot {
+		// The promoted sibling inherits the dead root's stripe window.
+		for _, e := range edges {
+			if e.NewParent == -1 {
+				rootOrdinal[e.Child] = rootOrdinal[node]
+			}
+		}
+	}
+	// The triggering iteration's own output is the mid-iteration loss;
+	// kill() charges whatever else the segment held or receives later.
+	res.LostBytes += item.bytes
+	shm.kill()
+
+	a := aggs[node]
+	if dest, ok := tree.DrainTarget(node); ok {
+		for _, it := range sortedIntKeys(a.covered) {
+			aggs[dest].deliver(it, a.bytes[it], sortedIntKeys(a.covered[it]))
+		}
+		a.covered = map[int]map[int]bool{}
+		a.bytes = map[int]float64{}
+	}
+	// Orphans with no drain target stay in a.bytes and are swept into
+	// LostBytes after the run.
+	for _, other := range aggs {
+		other.wake()
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/des"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -138,6 +139,15 @@ type Config struct {
 	// CompressRate is the dedicated-core compression speed in bytes/s
 	// (default 400 MB/s).
 	CompressRate float64
+	// Failures schedules node deaths in tree mode (nil: none), the DES
+	// mirror of cluster.Config.Failures: when a scheduled node's
+	// dedicated core reaches its death iteration, the node's I/O stack
+	// stops (its output from that iteration on is lost), its children
+	// re-route to its parent (or a promoted sibling when a root dies),
+	// and its in-flight aggregations drain to the re-route target. The
+	// simulation ranks keep computing — the model isolates the
+	// I/O-layer data-loss/latency trade of losing aggregation nodes.
+	Failures *cluster.FailureSchedule
 
 	// Collective options.
 
@@ -225,6 +235,23 @@ type Result struct {
 	SkippedIters int
 	// DrainTime is when the last dedicated-core write completed.
 	DrainTime float64
+
+	// Failure measurements (tree mode with a failure schedule).
+
+	// NodesFailed counts nodes killed by the failure schedule.
+	NodesFailed int
+	// ReroutedEdges counts aggregation-tree edges moved by failures,
+	// root promotions included.
+	ReroutedEdges int
+	// LostBytes is the payload that never reached the backend because
+	// its node died (own output from the death iteration on, plus any
+	// orphaned aggregations with nowhere to drain).
+	LostBytes float64
+	// Completeness has one entry per iteration in tree mode: the
+	// fraction of nodes whose contribution reached a root write (1.0
+	// everywhere without failures; skips still count as participation,
+	// mirroring the runtime cluster's zero-block batches).
+	Completeness []float64
 }
 
 // MeanIOTime returns the mean application-visible output-phase duration.
@@ -252,6 +279,21 @@ func (r Result) Throughput() float64 {
 		return 0
 	}
 	return r.BytesWritten / r.IOWindow
+}
+
+// DataLossFraction returns the share of node-iterations whose output
+// never reached the storage backend: §V.C skips plus failure-driven
+// coverage loss. 0 for a run with neither.
+func (r Result) DataLossFraction() float64 {
+	total := float64(r.Platform.Nodes * r.Workload.Iterations)
+	if total == 0 {
+		return 0
+	}
+	lost := float64(r.SkippedIters)
+	for _, frac := range r.Completeness {
+		lost += (1 - frac) * float64(r.Platform.Nodes)
+	}
+	return lost / total
 }
 
 // IdleFraction returns the idle share of the dedicated cores (Damaris

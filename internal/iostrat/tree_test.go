@@ -3,6 +3,7 @@ package iostrat
 import (
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/storage"
 	"repro/internal/topology"
 )
@@ -194,5 +195,144 @@ func TestSDFBackendNeedsDir(t *testing.T) {
 	cfg.BackendDir = t.TempDir()
 	if _, err := Run(Damaris, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// failConfig kills interior node 1 (children 5..8) at iteration 1 of 3.
+func failConfig() Config {
+	cfg := treeConfig()
+	cfg.Failures = cluster.NewFailureSchedule().Add(1, 1)
+	return cfg
+}
+
+func TestDamarisTreeFailureAccounting(t *testing.T) {
+	cfg := failConfig()
+	res, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesFailed != 1 {
+		t.Errorf("NodesFailed = %d, want 1", res.NodesFailed)
+	}
+	if res.ReroutedEdges != 4 {
+		t.Errorf("ReroutedEdges = %d, want 4 (children 5..8 re-route to the root)", res.ReroutedEdges)
+	}
+	nodeBytes := cfg.Workload.NodeBytes(cfg.Platform.CoresPerNode)
+	total := nodeBytes * float64(cfg.Platform.Nodes) * float64(cfg.Workload.Iterations)
+	// Node 1's own output for iterations 1 and 2 is the only loss; the
+	// re-routed children's data still reaches the root.
+	wantLost := 2 * nodeBytes
+	if res.LostBytes < wantLost*0.999 || res.LostBytes > wantLost*1.001 {
+		t.Errorf("LostBytes = %v, want %v", res.LostBytes, wantLost)
+	}
+	wantWritten := total - wantLost
+	if res.BytesWritten < wantWritten*0.999 || res.BytesWritten > wantWritten*1.001 {
+		t.Errorf("BytesWritten = %v, want %v (conservation)", res.BytesWritten, wantWritten)
+	}
+	want := []float64{1, 15.0 / 16, 15.0 / 16}
+	for it, frac := range res.Completeness {
+		if frac != want[it] {
+			t.Errorf("Completeness[%d] = %v, want %v", it, frac, want[it])
+		}
+	}
+	if loss := res.DataLossFraction(); loss <= 0 || loss >= 0.1 {
+		t.Errorf("DataLossFraction = %v, want small but positive", loss)
+	}
+	if res.SkippedIters != 0 {
+		t.Errorf("SkippedIters = %d: failure loss must not masquerade as skips", res.SkippedIters)
+	}
+}
+
+func TestDamarisTreeFailureDeterministic(t *testing.T) {
+	cfg := failConfig()
+	r1, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalTime != r2.TotalTime || r1.BytesWritten != r2.BytesWritten ||
+		r1.LostBytes != r2.LostBytes || r1.DrainTime != r2.DrainTime {
+		t.Errorf("failure runs differ: %+v vs %+v", r1, r2)
+	}
+	for it := range r1.Completeness {
+		if r1.Completeness[it] != r2.Completeness[it] {
+			t.Errorf("Completeness[%d] differs", it)
+		}
+	}
+}
+
+func TestDamarisTreeRootFailurePromotes(t *testing.T) {
+	cfg := treeConfig()
+	cfg.AggRoots = 4 // subtrees of 4 nodes: roots 0, 4, 8, 12
+	cfg.Failures = cluster.NewFailureSchedule().Add(0, 1)
+	res, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesFailed != 1 {
+		t.Errorf("NodesFailed = %d, want 1", res.NodesFailed)
+	}
+	// Node 1 promoted to root, 2 and 3 re-routed under it.
+	if res.ReroutedEdges != 3 {
+		t.Errorf("ReroutedEdges = %d, want 3", res.ReroutedEdges)
+	}
+	// The last iteration, well past the death, must be written by the
+	// promoted root: only the dead node itself is missing.
+	last := len(res.Completeness) - 1
+	if want := 15.0 / 16; res.Completeness[last] != want {
+		t.Errorf("Completeness[%d] = %v, want %v", last, res.Completeness[last], want)
+	}
+	// Every root wrote iteration 0; the promoted root writes again
+	// after the takeover.
+	if res.FilesCreated < 10 || res.FilesCreated > 12 {
+		t.Errorf("FilesCreated = %d, want within [10, 12]", res.FilesCreated)
+	}
+}
+
+func TestDamarisTreeEmptyScheduleMatchesNil(t *testing.T) {
+	cfg := treeConfig()
+	base, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Failures = cluster.NewFailureSchedule()
+	empty, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TotalTime != empty.TotalTime || base.BytesWritten != empty.BytesWritten ||
+		base.DrainTime != empty.DrainTime || empty.NodesFailed != 0 || empty.LostBytes != 0 {
+		t.Errorf("empty schedule changed the run: %+v vs %+v", base, empty)
+	}
+	for it, frac := range empty.Completeness {
+		if frac != 1 {
+			t.Errorf("Completeness[%d] = %v without failures", it, frac)
+		}
+	}
+}
+
+func TestDamarisTreeFailureWithSkips(t *testing.T) {
+	// Failures and the §V.C skip policy must compose: a tiny segment
+	// makes every live node skip, while node 1 dies outright.
+	cfg := failConfig()
+	cfg.ShmCapacity = 1e6
+	res, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkippedIters == 0 {
+		t.Fatal("expected skips with a tiny segment")
+	}
+	if res.NodesFailed != 1 {
+		t.Errorf("NodesFailed = %d, want 1", res.NodesFailed)
+	}
+	if res.BytesWritten > 0 {
+		t.Errorf("skipped iterations still wrote %v bytes", res.BytesWritten)
+	}
+	if loss := res.DataLossFraction(); loss <= 0.9 {
+		t.Errorf("DataLossFraction = %v, want near-total loss", loss)
 	}
 }

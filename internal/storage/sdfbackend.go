@@ -23,7 +23,8 @@ type SDF struct {
 	dir string
 
 	omu     sync.Mutex
-	objects int
+	objSize map[string]int64  // object name → stored size (overwrites replace)
+	owner   map[string]string // flattened file name → object name (collision guard)
 	objByte int64
 }
 
@@ -40,7 +41,12 @@ func NewSDF(eng *des.Engine, targets int, bandwidth float64, dir string) (*SDF, 
 	}
 	m := newSimModel(eng, targets, bandwidth*0.8)
 	m.overhead = 0.08 // local fs: object creation costs more than RAM
-	return &SDF{simModel: m, dir: dir}, nil
+	return &SDF{
+		simModel: m,
+		dir:      dir,
+		objSize:  map[string]int64{},
+		owner:    map[string]string{},
+	}, nil
 }
 
 // Dir returns the artifact directory.
@@ -90,11 +96,23 @@ func (b *SDF) PlaceFile(stripes int, r *rng.Stream) []int {
 }
 
 // Put implements ObjectStore: the object becomes one SDF file.
+// Overwriting an existing name replaces the object (accounted once,
+// like Memory.Put); two distinct names that flatten to the same file
+// are rejected instead of silently clobbering each other.
 func (b *SDF) Put(name string, data []byte) error {
 	if name == "" {
 		return fmt.Errorf("storage: empty object name")
 	}
-	w, err := sdf.Create(b.objectPath(name))
+	path := b.objectPath(name)
+	b.omu.Lock()
+	if prev, taken := b.owner[path]; taken && prev != name {
+		b.omu.Unlock()
+		return fmt.Errorf("storage: object %q collides with %q (both flatten to %s)",
+			name, prev, path)
+	}
+	b.owner[path] = name
+	b.omu.Unlock()
+	w, err := sdf.Create(path)
 	if err != nil {
 		return err
 	}
@@ -110,7 +128,10 @@ func (b *SDF) Put(name string, data []byte) error {
 		return err
 	}
 	b.omu.Lock()
-	b.objects++
+	if old, ok := b.objSize[name]; ok {
+		b.objByte -= old
+	}
+	b.objSize[name] = int64(len(data))
 	b.objByte += int64(len(data))
 	b.omu.Unlock()
 	return nil
@@ -150,9 +171,11 @@ func (b *SDF) ObjectNames() []string {
 }
 
 func (b *SDF) objectPath(name string) string {
-	// Object names may carry slashes; flatten them so every object is
-	// one file directly under dir.
-	safe := strings.ReplaceAll(name, string(os.PathSeparator), "_")
+	// Object names may carry path separators of either convention;
+	// flatten both so every object is one file directly under dir.
+	// Put rejects distinct names that flatten to the same file.
+	safe := strings.ReplaceAll(name, "/", "_")
+	safe = strings.ReplaceAll(safe, `\`, "_")
 	return filepath.Join(b.dir, safe+".sdf")
 }
 
@@ -160,7 +183,7 @@ func (b *SDF) objectPath(name string) string {
 func (b *SDF) Accounting() Accounting {
 	acc := b.simModel.accounting()
 	b.omu.Lock()
-	acc.Objects = b.objects
+	acc.Objects = len(b.objSize)
 	acc.ObjectBytes = b.objByte
 	b.omu.Unlock()
 	return acc

@@ -232,3 +232,62 @@ func TestPatternString(t *testing.T) {
 		t.Error("unknown pattern formatting wrong")
 	}
 }
+
+// TestSDFOverwriteAccounting: re-putting the same object name replaces
+// it, so it counts once — with the size of the latest version — just
+// like Memory.Put.
+func TestSDFOverwriteAccounting(t *testing.T) {
+	b, err := NewSDF(nil, 4, 1e9, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("obj", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("obj", make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	acc := b.Accounting()
+	if acc.Objects != 1 {
+		t.Errorf("Objects = %d, want 1 after overwrite", acc.Objects)
+	}
+	if acc.ObjectBytes != 40 {
+		t.Errorf("ObjectBytes = %d, want 40 (latest version only)", acc.ObjectBytes)
+	}
+	data, ok := b.Object("obj")
+	if !ok || len(data) != 40 {
+		t.Fatalf("stored object wrong: ok=%v len=%d", ok, len(data))
+	}
+	if n := len(b.ObjectNames()); n != 1 {
+		t.Errorf("%d files on disk, want 1", n)
+	}
+}
+
+// TestSDFPathCollisionRejected: distinct object names that flatten to
+// the same file must error instead of silently clobbering each other.
+func TestSDFPathCollisionRejected(t *testing.T) {
+	b, err := NewSDF(nil, 4, 1e9, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("a/b", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("a_b", []byte{2}); err == nil {
+		t.Fatal("a_b must collide with a/b")
+	}
+	if err := b.Put(`a\b`, []byte{3}); err == nil {
+		t.Fatal(`a\b must collide with a/b`)
+	}
+	// The original survives untouched and re-putting it still works.
+	if data, ok := b.Object("a/b"); !ok || len(data) != 1 || data[0] != 1 {
+		t.Fatalf("original object damaged: ok=%v data=%v", ok, data)
+	}
+	if err := b.Put("a/b", []byte{9}); err != nil {
+		t.Fatalf("re-put of the owner rejected: %v", err)
+	}
+	acc := b.Accounting()
+	if acc.Objects != 1 || acc.ObjectBytes != 1 {
+		t.Errorf("accounting after collisions: %+v", acc)
+	}
+}
