@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check bench failure-race failure-smoke ci
+.PHONY: build test vet fmt fmt-check bench failure-race failure-smoke restart-smoke docs-check ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,18 @@ failure-race:
 failure-smoke:
 	$(GO) run ./cmd/damaris-bench -quick -exp f1
 
+# R1 checkpoint/restart experiment at smoke scale: write objects +
+# manifests into an sdf store, restore them, then replay the artifacts
+# through -restart-from (the full object read path end to end).
+restart-smoke:
+	$(GO) run ./cmd/damaris-bench -quick -exp r1 -backend sdf -backend-dir out/restart-smoke
+	$(GO) run ./cmd/damaris-bench -restart-from out/restart-smoke/fail0
+
+# Documentation invariants: intra-repo markdown links resolve and every
+# package has a godoc package comment (see cmd/docscheck).
+docs-check:
+	$(GO) run ./cmd/docscheck
+
 vet:
 	$(GO) vet ./...
 
@@ -34,4 +46,4 @@ fmt-check:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build vet fmt-check test failure-race bench failure-smoke
+ci: build vet fmt-check docs-check test failure-race bench failure-smoke restart-smoke

@@ -1,7 +1,7 @@
 package damaris
 
-// One benchmark per table/figure of the paper's evaluation (DESIGN.md's
-// experiment index). Each runs the corresponding experiment harness at
+// One benchmark per table/figure of the paper's evaluation (see
+// docs/EXPERIMENTS.md). Each runs the corresponding experiment harness at
 // paper scale — the Kraken sweep up to 9216 cores replayed on the
 // deterministic discrete-event substrate — and reports the headline
 // measurement as a custom benchmark metric, so

@@ -1,7 +1,7 @@
 // Command damaris-bench regenerates the paper's evaluation: every
-// quantitative claim of §IV and §V.C is one experiment (see DESIGN.md),
-// and each run prints the corresponding table plus shape checks against
-// the published numbers.
+// quantitative claim of §IV and §V.C is one experiment (see
+// docs/EXPERIMENTS.md), and each run prints the corresponding table
+// plus shape checks against the published numbers.
 //
 // Usage:
 //
@@ -17,6 +17,12 @@
 //	damaris-bench -fanout 4       # cross-node k-ary aggregation tree
 //	damaris-bench -backend memory # storage backend: pfs, memory, sdf
 //	damaris-bench -fail-nodes 3,5 -fail-at 2   # kill nodes mid-run
+//
+// Checkpoint/restart (experiment R1 and the object read path):
+//
+//	damaris-bench -exp r1                          # write + restore sweep
+//	damaris-bench -exp r1 -backend sdf -backend-dir out/ckpt   # leave artifacts
+//	damaris-bench -restart-from out/ckpt/fail0     # replay a stored run
 package main
 
 import (
@@ -28,26 +34,37 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/storage"
 	"repro/internal/topology"
 )
 
 func main() {
 	var (
-		expList   = flag.String("exp", "all", "comma-separated experiment ids (e1..e8,a1,a2,f1) or 'all'")
-		quick     = flag.Bool("quick", false, "reduced scale for a fast smoke run")
-		seed      = flag.Uint64("seed", 2013, "root seed for all stochastic inputs")
-		iters     = flag.Int("iters", 0, "output phases per run (0 = default)")
-		platform  = flag.String("platform", "kraken", "platform preset: kraken, grid5000, power5")
-		csvDir    = flag.String("csv", "", "directory to write per-table CSV files")
-		nodes     = flag.Int("nodes", 0, "replace the weak-scaling sweep with one scale of N nodes")
-		fanout    = flag.Int("fanout", 0, "cross-node aggregation tree fanout (>= 2 enables the cluster layer)")
-		backend   = flag.String("backend", "pfs", "storage backend: pfs, memory, sdf")
-		bdir      = flag.String("backend-dir", "out/sdf-objects", "artifact directory for the sdf backend")
-		failNodes = flag.String("fail-nodes", "", "comma-separated node ids to kill in tree-mode runs")
-		failAt    = flag.Int("fail-at", 0, "iteration at which -fail-nodes die")
+		expList     = flag.String("exp", "all", "comma-separated experiment ids (e1..e8,a1,a2,f1,r1) or 'all'")
+		quick       = flag.Bool("quick", false, "reduced scale for a fast smoke run")
+		seed        = flag.Uint64("seed", 2013, "root seed for all stochastic inputs")
+		iters       = flag.Int("iters", 0, "output phases per run (0 = default)")
+		platform    = flag.String("platform", "kraken", "platform preset: kraken, grid5000, power5")
+		csvDir      = flag.String("csv", "", "directory to write per-table CSV files")
+		nodes       = flag.Int("nodes", 0, "replace the weak-scaling sweep with one scale of N nodes")
+		fanout      = flag.Int("fanout", 0, "cross-node aggregation tree fanout (>= 2 enables the cluster layer)")
+		backend     = flag.String("backend", "pfs", "storage backend: pfs, memory, sdf")
+		bdir        = flag.String("backend-dir", "out/sdf-objects", "artifact directory for the sdf backend")
+		failNodes   = flag.String("fail-nodes", "", "comma-separated node ids to kill in tree-mode runs")
+		failAt      = flag.Int("fail-at", 0, "iteration at which -fail-nodes die")
+		restartFrom = flag.String("restart-from", "", "restore a stored run from an sdf object-store directory, report what is recoverable, and exit")
 	)
 	flag.Parse()
+
+	if *restartFrom != "" {
+		if err := restoreReport(*restartFrom); err != nil {
+			fmt.Fprintf(os.Stderr, "restart-from: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := experiments.Default()
 	if *quick {
@@ -109,6 +126,7 @@ func main() {
 		{"a1", experiments.RunA1},
 		{"a2", experiments.RunA2},
 		{"f1", experiments.RunF1},
+		{"r1", experiments.RunR1},
 	}
 
 	failures := 0
@@ -138,6 +156,62 @@ func main() {
 		fmt.Printf("%d experiment(s) with checks outside the paper band\n", failures)
 		os.Exit(1)
 	}
+}
+
+// restoreReport reads a stored run back from an SDF object-store
+// directory (e.g. one left behind by `-exp r1 -backend sdf` or any
+// cluster run with an sdf store) and prints what is recoverable: the
+// checkpoint/restart consumer's view of the object read path.
+func restoreReport(dir string) error {
+	if _, err := os.Stat(dir); err != nil {
+		return err
+	}
+	store, err := storage.NewSDF(nil, 1, 1e9, dir)
+	if err != nil {
+		return err
+	}
+	r, err := cluster.Restore(store, "")
+	if err != nil {
+		return err
+	}
+	if r.Manifests == 0 {
+		return fmt.Errorf("no manifests under %s — nothing to restart from", dir)
+	}
+	// The cluster size is not stored anywhere except the data itself:
+	// infer it from the widest coverage any iteration achieved.
+	nodes := 0
+	for _, ri := range r.Iterations {
+		for n := range ri.Covers {
+			if n+1 > nodes {
+				nodes = n + 1
+			}
+		}
+	}
+	fmt.Printf("restore from %s: %d manifests, %d iterations, %d blocks, %d-node cluster (inferred)\n",
+		dir, r.Manifests, len(r.Iterations), r.TotalBlocks(), nodes)
+	for _, it := range r.IterationNumbers() {
+		ri := r.Iterations[it]
+		status := "complete"
+		switch {
+		case ri.PayloadMissing:
+			status = "payload missing"
+		case ri.Partial:
+			status = "partial"
+		case len(ri.Covers) < nodes:
+			status = fmt.Sprintf("%d/%d nodes", len(ri.Covers), nodes)
+		}
+		fmt.Printf("  it %6d: %4d blocks, coverage %.2f, %s\n",
+			it, len(ri.Blocks), float64(len(ri.Covers))/float64(nodes), status)
+	}
+	if it, ok := r.LatestComplete(nodes); ok {
+		fmt.Printf("restartable from iteration %d\n", it)
+	} else {
+		fmt.Println("no fully-complete checkpoint; restart would lose data")
+	}
+	for _, p := range r.Problems {
+		fmt.Printf("  problem: %v\n", p)
+	}
+	return nil
 }
 
 func writeCSVs(dir string, rep experiments.Report) error {

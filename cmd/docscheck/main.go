@@ -1,0 +1,161 @@
+// Command docscheck enforces the repository's documentation
+// invariants, so CI can fail on documentation rot the way it fails on
+// broken code:
+//
+//   - every intra-repo markdown link (and image) resolves to an
+//     existing file or directory;
+//   - every Go package — root, internal/..., cmd/..., examples/... —
+//     carries a package comment ("// Package xxx ..." or a command
+//     comment on package main).
+//
+// Usage:
+//
+//	docscheck            # check the current directory tree
+//	docscheck -root dir  # check another tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// skipDirs are trees that hold no sources or docs of ours.
+var skipDirs = map[string]bool{".git": true, "out": true, "testdata": true}
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+	var problems []string
+	problems = append(problems, checkMarkdownLinks(*root)...)
+	problems = append(problems, checkPackageComments(*root)...)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+// mdLink matches inline markdown links and images: [text](target) and
+// ![alt](target), leaving reference-style definitions alone.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkMarkdownLinks resolves every relative link in every .md file.
+func checkMarkdownLinks(root string) []string {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// Fenced code blocks show link-like syntax in examples; skip them.
+		for _, m := range mdLink.FindAllStringSubmatch(stripCodeFences(string(data)), -1) {
+			target := m[1]
+			if u, err := url.Parse(target); err == nil && u.Scheme != "" {
+				continue // external: http, https, mailto, ...
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // pure fragment: same-file anchor
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s: broken link %q (%s does not exist)", path, m[1], resolved))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("walking %s: %v", root, err))
+	}
+	return problems
+}
+
+// stripCodeFences blanks ``` fenced blocks so example snippets inside
+// them are not treated as live links.
+func stripCodeFences(s string) string {
+	var out strings.Builder
+	fenced := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			out.WriteString("\n")
+			continue
+		}
+		if fenced {
+			out.WriteString("\n")
+			continue
+		}
+		out.WriteString(line)
+		out.WriteString("\n")
+	}
+	return out.String()
+}
+
+// checkPackageComments requires a package comment in every directory
+// holding non-test Go files.
+func checkPackageComments(root string) []string {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if skipDirs[d.Name()] {
+			return filepath.SkipDir
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, path, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		for name, pkg := range pkgs {
+			if strings.HasSuffix(name, "_test") {
+				continue
+			}
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				problems = append(problems,
+					fmt.Sprintf("%s: package %s has no package comment", path, name))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("walking %s: %v", root, err))
+	}
+	return problems
+}

@@ -1,34 +1,105 @@
 // Command sdfdump inspects SDF files (the repository's HDF5-substitute
 // format): it lists groups, datasets, attributes and compression info,
-// and optionally prints dataset statistics.
+// and optionally prints dataset statistics. Given a directory, it
+// treats it as an SDF object store (what the cluster layer's sdf
+// backend writes) and prints a manifest-aware listing: per-iteration
+// checkpoint manifests with their coverage, and the data objects with
+// their sizes.
 //
 // Usage:
 //
 //	sdfdump file.sdf             # structure listing
 //	sdfdump -stats file.sdf      # plus min/max/mean per float64 dataset
+//	sdfdump out/ckpt/fail0       # object-store listing with manifests
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/insitu"
 	"repro/internal/sdf"
+	"repro/internal/storage"
 )
 
 func main() {
 	stats := flag.Bool("stats", false, "print min/max/mean for float64 datasets")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		log.Fatal("usage: sdfdump [-stats] file.sdf ...")
+		log.Fatal("usage: sdfdump [-stats] file.sdf|store-dir ...")
 	}
 	for _, path := range flag.Args() {
-		if err := dump(path, *stats); err != nil {
+		info, err := os.Stat(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		if info.IsDir() {
+			err = dumpStore(path)
+		} else {
+			err = dump(path, *stats)
+		}
+		if err != nil {
 			log.Fatalf("%s: %v", path, err)
 		}
 	}
+}
+
+// dumpStore lists an SDF object store: manifests first (the index a
+// restart navigates by), then the remaining objects.
+func dumpStore(dir string) error {
+	store, err := storage.NewSDF(nil, 1, 1e9, dir)
+	if err != nil {
+		return err
+	}
+	names, err := store.List("")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d objects\n", dir, len(names))
+	var plain []string
+	for _, name := range names {
+		if !cluster.IsManifestName(name) {
+			plain = append(plain, name)
+			continue
+		}
+		data, err := store.Get(name)
+		if err != nil {
+			fmt.Printf("  %-44s unreadable: %v\n", name, err)
+			continue
+		}
+		m, err := cluster.DecodeManifest(data)
+		if err != nil {
+			fmt.Printf("  %-44s not a manifest: %v\n", name, err)
+			continue
+		}
+		bytes := 0
+		for _, b := range m.Blocks {
+			bytes += b.Bytes
+		}
+		status := ""
+		if m.Partial {
+			status = " PARTIAL"
+		}
+		fmt.Printf("  %-44s job=%s root=%d it=%d covers=%d nodes blocks=%d payload=%dB%s\n",
+			name, m.Job, m.Root, m.Iteration, len(m.Covers), len(m.Blocks), bytes, status)
+	}
+	for _, name := range plain {
+		data, err := store.Get(name)
+		if err != nil {
+			fmt.Printf("  %-44s unreadable: %v\n", name, err)
+			continue
+		}
+		kind := "object"
+		if b, err := cluster.DecodeBatch(data); err == nil {
+			kind = fmt.Sprintf("batch it=%d blocks=%d", b.Iteration, len(b.Blocks))
+		}
+		fmt.Printf("  %-44s %s, %d bytes\n", name, kind, len(data))
+	}
+	return nil
 }
 
 func dump(path string, withStats bool) error {

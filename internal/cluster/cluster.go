@@ -54,6 +54,11 @@ type Config struct {
 	Roots int
 	// Store receives the root objects; any storage.Backend works.
 	Store storage.ObjectStore
+	// DisableManifests turns off the per-iteration manifest objects
+	// roots write alongside their data objects. Manifests are what
+	// Restore navigates by, so disable them only for runs that will
+	// never be replayed (or for tests counting raw store objects).
+	DisableManifests bool
 	// JobName prefixes object names (default Meta.Name).
 	JobName string
 	// OutputDir is passed to each node for its local plugins.
@@ -77,10 +82,15 @@ type Stats struct {
 	BatchesForwarded int
 	// BytesForwarded is the payload volume of those transfers.
 	BytesForwarded int64
-	// ObjectsWritten counts root objects handed to the store.
+	// ObjectsWritten counts root data objects handed to the store
+	// (manifests are counted separately in ManifestsWritten).
 	ObjectsWritten int
 	// ObjectBytes is the encoded size of those objects.
 	ObjectBytes int64
+	// ManifestsWritten counts per-iteration manifest objects stored
+	// alongside the data objects (one per data object unless
+	// Config.DisableManifests is set or the manifest Put failed).
+	ManifestsWritten int
 	// IterationsCompleted counts iterations all live roots finished.
 	IterationsCompleted int
 	// PartialIterations counts the distinct iterations some root stored
@@ -652,12 +662,28 @@ func (a *aggregator) emit(b *Batch, covered map[int]bool, partial bool) {
 	obj := EncodeBatch(b)
 	name := fmt.Sprintf("%s-root%03d-it%06d", c.cfg.JobName, a.node, b.Iteration)
 	err := c.cfg.Store.Put(name, obj)
+	var manifestStored bool
+	if err == nil && !c.cfg.DisableManifests {
+		// The manifest rides along with the data: a small index object
+		// Restore navigates by without touching any payload. A failed
+		// manifest Put degrades the run to unreplayable, not broken —
+		// the data object is already durable.
+		m := newManifest(c.cfg.JobName, a.node, name, b, covers, partial)
+		if merr := c.cfg.Store.Put(m.Name(), EncodeManifest(m)); merr != nil {
+			c.fail(fmt.Errorf("storing manifest %s: %w", m.Name(), merr))
+		} else {
+			manifestStored = true
+		}
+	}
 	c.mu.Lock()
 	if err == nil {
 		// Coverage and partial accounting describe *stored* objects; a
 		// failed Put stored nothing, so the loss shows in Completeness.
 		c.stats.ObjectsWritten++
 		c.stats.ObjectBytes += int64(len(obj))
+		if manifestStored {
+			c.stats.ManifestsWritten++
+		}
 		c.covered[b.Iteration] += len(covers)
 		if partial {
 			c.partials[b.Iteration] = true

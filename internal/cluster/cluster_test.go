@@ -127,6 +127,25 @@ func testPlatform(nodes, coresPerNode int) topology.Platform {
 	return topology.Platform{Name: "test", Nodes: nodes, CoresPerNode: coresPerNode}
 }
 
+// dataNames filters manifest objects out of a store listing.
+func dataNames(names []string) []string {
+	var out []string
+	for _, n := range names {
+		if !IsManifestName(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func keys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
 // payload builds the unique 512-byte block for (node, source, it).
 func payload(node, source, it int) []byte {
 	p := make([]byte, 64*8)
@@ -178,9 +197,9 @@ func TestClusterFanInCorrectness(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	names := store.ObjectNames()
+	names := dataNames(store.ObjectNames())
 	if len(names) != iters {
-		t.Fatalf("stored %d objects, want %d (one per iteration): %v", len(names), iters, names)
+		t.Fatalf("stored %d data objects, want %d (one per iteration): %v", len(names), iters, names)
 	}
 	for it := 0; it < iters; it++ {
 		name := fmt.Sprintf("clustertest-root000-it%06d", it)
@@ -218,6 +237,9 @@ func TestClusterFanInCorrectness(t *testing.T) {
 	if st.ObjectsWritten != iters {
 		t.Errorf("ObjectsWritten = %d, want %d", st.ObjectsWritten, iters)
 	}
+	if st.ManifestsWritten != iters {
+		t.Errorf("ManifestsWritten = %d, want %d (one per data object)", st.ManifestsWritten, iters)
+	}
 	// 9 nodes, 1 root: every non-root forwards once per iteration.
 	if want := (nodes - 1) * iters; st.BatchesForwarded != want {
 		t.Errorf("BatchesForwarded = %d, want %d", st.BatchesForwarded, want)
@@ -251,8 +273,8 @@ func TestClusterMultiRoot(t *testing.T) {
 	if err := c.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
-	if n := len(store.ObjectNames()); n != roots*iters {
-		t.Fatalf("stored %d objects, want %d", n, roots*iters)
+	if n := len(dataNames(store.ObjectNames())); n != roots*iters {
+		t.Fatalf("stored %d data objects, want %d", n, roots*iters)
 	}
 	// The union of the four subtree objects must cover every node
 	// exactly once per iteration.
@@ -318,7 +340,7 @@ func TestBackendSwapEquivalence(t *testing.T) {
 		return out
 	}
 	a, b := objects(mem), objects(sdfB)
-	if len(a) != len(b) || len(a) != iters {
+	if len(a) != len(b) || len(dataNames(keys(a))) != iters {
 		t.Fatalf("object counts differ: memory=%d sdf=%d", len(a), len(b))
 	}
 	for name, data := range a {

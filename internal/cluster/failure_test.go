@@ -335,7 +335,7 @@ func TestClusterEmptyScheduleIdentical(t *testing.T) {
 		out := map[string][]byte{}
 		for _, n := range store.ObjectNames() {
 			d, _ := store.Object(n)
-			out[n] = d
+			out[n] = d // manifests included: they must be deterministic too
 		}
 		return out
 	}

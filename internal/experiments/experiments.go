@@ -3,13 +3,13 @@
 // producing the table/series the paper reports plus a set of checks
 // comparing the measured shape against the published one.
 //
-// Experiment IDs follow DESIGN.md:
+// Experiment IDs (docs/EXPERIMENTS.md has the full index):
 //
 //	E1 weak-scaling run time (§IV.A)     E5 compression (§IV.D)
 //	E2 I/O variability (§IV.B)           E6 I/O scheduling (§IV.D)
 //	E3 aggregate throughput (§IV.C)      E7 in-situ visualization (§V.C.1)
 //	E4 dedicated-core idle time (§IV.D)  E8 usability LoC (§V.C.2)
-//	A1/A2 design-choice ablations
+//	A1/A2 design-choice ablations        F1 node failures, R1 restart
 package experiments
 
 import (

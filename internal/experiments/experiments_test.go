@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/iostrat"
+	"repro/internal/storage"
 )
 
 // quick returns fast options for tests (small machine, few phases).
@@ -297,5 +300,51 @@ func TestF1Quick(t *testing.T) {
 		if !c.Pass() {
 			t.Errorf("check failed: %s", c)
 		}
+	}
+}
+
+func TestR1Quick(t *testing.T) {
+	rep, err := RunR1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("R1 produced %d tables, want 2 (restore + DES read model)", len(rep.Tables))
+	}
+	for _, c := range rep.Checks {
+		if !c.Pass() {
+			t.Errorf("check failed: %s", c)
+		}
+	}
+}
+
+// TestR1SDFArtifacts: with the sdf backend the runtime side leaves a
+// restorable on-disk store behind — the `-restart-from` input.
+func TestR1SDFArtifacts(t *testing.T) {
+	opts := quick()
+	opts.Backend = "sdf"
+	opts.BackendDir = t.TempDir()
+	rep, err := RunR1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllPass() {
+		t.Fatalf("checks failed:\n%s", rep.String())
+	}
+	// The no-failure run's artifacts restore losslessly in a fresh
+	// backend over the directory, like a restarting process would.
+	store, err := storage.NewSDF(nil, 1, 1e9, filepath.Join(opts.BackendDir, "fail0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cluster.Restore(store, "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Problems) != 0 || r.TotalBlocks() == 0 {
+		t.Fatalf("on-disk restore wrong: %d blocks, problems %v", r.TotalBlocks(), r.Problems)
+	}
+	if _, ok := r.LatestComplete(8); !ok {
+		t.Fatal("no complete checkpoint in the no-failure artifacts")
 	}
 }

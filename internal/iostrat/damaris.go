@@ -389,21 +389,7 @@ func runTreeNode(p *des.Proc, cfg Config, be storage.Backend, schedule writeSche
 
 	plat := cfg.Platform
 	numRoots := len(tree.Roots())
-	stripes := cfg.RootStripes
-	if stripes <= 0 {
-		// Wide enough that the few root streams can saturate the
-		// target array, narrow enough to stay "few large streams".
-		stripes = be.Targets() / (2 * numRoots)
-		if stripes < 8 {
-			stripes = 8
-		}
-		if stripes > 64 {
-			stripes = 64
-		}
-	}
-	if stripes > be.Targets() {
-		stripes = be.Targets()
-	}
+	stripes := rootStripes(cfg, be.Targets(), numRoots)
 	fileSeq := 0
 	failAt, willFail := cfg.Failures.At(node)
 	// The coverage this node must merge before forwarding: its live
@@ -482,6 +468,28 @@ func runTreeNode(p *des.Proc, cfg Config, be storage.Backend, schedule writeSche
 		shm.free(item.bytes)
 		res.DedicatedBusy += busy
 	}
+}
+
+// rootStripes resolves how many backend targets each root stream is
+// striped over: the configured override, or wide enough that the few
+// root streams can saturate the target array while staying "few large
+// streams". The write path and the restart-read model share this, so
+// the read mirror always prices the layout the write side produced.
+func rootStripes(cfg Config, targets, numRoots int) int {
+	stripes := cfg.RootStripes
+	if stripes <= 0 {
+		stripes = targets / (2 * numRoots)
+		if stripes < 8 {
+			stripes = 8
+		}
+		if stripes > 64 {
+			stripes = 64
+		}
+	}
+	if stripes > targets {
+		stripes = targets
+	}
+	return stripes
 }
 
 // deliverUp hands a merged batch to dest's aggregator, chasing the

@@ -1,0 +1,103 @@
+package iostrat
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+	"repro/internal/topology"
+)
+
+func restartConfig(nodes, fanout int) Config {
+	return Config{
+		Platform: topology.Kraken(nodes),
+		Workload: CM1Workload(2),
+		Seed:     7,
+		Backend:  storage.KindMemory,
+		Fanout:   fanout,
+	}
+}
+
+// TestRestartReadShape: both layouts read the full checkpoint back, and
+// the tree mode reads through few roots with wide stripes.
+func TestRestartReadShape(t *testing.T) {
+	const nodes = 16
+	wantBytes := CM1Workload(2).NodeBytes(topology.Kraken(1).CoresPerNode) * nodes
+	for _, fanout := range []int{0, 4} {
+		res, err := RestartRead(restartConfig(nodes, fanout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BytesRead != wantBytes {
+			t.Errorf("fanout %d: BytesRead = %g, want %g", fanout, res.BytesRead, wantBytes)
+		}
+		if res.ReadTime <= 0 || res.TotalTime < res.ReadTime {
+			t.Errorf("fanout %d: times wrong: read=%g total=%g", fanout, res.ReadTime, res.TotalTime)
+		}
+		if fanout == 0 && res.Roots != nodes {
+			t.Errorf("baseline should read one file per node, got %d roots", res.Roots)
+		}
+		if fanout == 4 && res.Roots >= nodes {
+			t.Errorf("tree mode should read through few roots, got %d", res.Roots)
+		}
+	}
+	// Tree mode pays NIC scatter on top of the read; baseline does not.
+	base, _ := RestartRead(restartConfig(nodes, 0))
+	if base.TotalTime != base.ReadTime {
+		t.Errorf("baseline has no scatter phase: read=%g total=%g", base.ReadTime, base.TotalTime)
+	}
+}
+
+// TestRestartReadDeterministic: the memory backend has no stochastic
+// inputs, so two runs are bit-identical.
+func TestRestartReadDeterministic(t *testing.T) {
+	a, err := RestartRead(restartConfig(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RestartRead(restartConfig(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("restart model not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestRestartReadAfterFailures: dead nodes hold no data and receive
+// none, so the restart reads strictly less.
+func TestRestartReadAfterFailures(t *testing.T) {
+	cfg := restartConfig(16, 2)
+	full, err := RestartRead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Failures = cluster.NewFailureSchedule().Add(3, 0).Add(5, 0)
+	less, err := RestartRead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := CM1Workload(2).NodeBytes(topology.Kraken(1).CoresPerNode)
+	want := full.BytesRead - 2*perNode
+	if diff := less.BytesRead - want; diff > 1 || diff < -1 {
+		t.Fatalf("BytesRead = %g after 2 deaths, want %g", less.BytesRead, want)
+	}
+}
+
+// TestRestartReadAllRootsDead: nothing was stored, nothing to read.
+func TestRestartReadAllRootsDead(t *testing.T) {
+	cfg := restartConfig(2, 2)
+	cfg.AggRoots = 1
+	sched := cluster.NewFailureSchedule()
+	for n := 0; n < 2; n++ {
+		sched.Add(n, 0)
+	}
+	cfg.Failures = sched
+	res, err := RestartRead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesRead != 0 || res.TotalTime != 0 {
+		t.Fatalf("read %g bytes from a dead forest: %+v", res.BytesRead, res)
+	}
+}

@@ -4,10 +4,9 @@
 // applications need (Barrier, Bcast, Gather, Reduce, Allreduce,
 // Alltoall), plus communicator splitting for node-local groups.
 //
-// It stands in for the MPI ecosystem the paper's middleware runs on
-// (substitution documented in DESIGN.md): the synchronization structure
-// and data movement of the algorithms are preserved; the transport is
-// shared memory instead of a network.
+// It stands in for the MPI ecosystem the paper's middleware runs on:
+// the synchronization structure and data movement of the algorithms
+// are preserved; the transport is shared memory instead of a network.
 package mpi
 
 import (

@@ -63,8 +63,9 @@ type FS struct {
 	mds    *des.Resource
 	osts   []*ost
 
-	totalBytes float64
-	mdsOps     int
+	totalBytes     float64
+	totalBytesRead float64
+	mdsOps         int
 
 	// Union-of-activity accounting: time during which at least one
 	// transfer was in flight anywhere on the file system.
@@ -99,6 +100,10 @@ func (fs *FS) OSTCount() int { return len(fs.osts) }
 // TotalBytes returns the number of bytes written so far (completed
 // transfers only).
 func (fs *FS) TotalBytes() float64 { return fs.totalBytes }
+
+// TotalBytesRead returns the number of bytes read so far (completed
+// transfers only).
+func (fs *FS) TotalBytesRead() float64 { return fs.totalBytesRead }
 
 // MDSOps returns the number of metadata operations served.
 func (fs *FS) MDSOps() int { return fs.mdsOps }
@@ -170,7 +175,26 @@ func (fs *FS) WriteChunkAsync(ostID int, bytes float64, pat Pattern) *des.Future
 	return fs.submit(ostID, bytes, 0, pat)
 }
 
+// ReadAsync submits a whole-file read of the given size and pattern to
+// one OST and returns a future completed when the transfer finishes.
+// Reads are served by the same per-OST processor-sharing queues as
+// writes — a restart competes with whatever else the storage system is
+// doing — and are accounted separately (TotalBytesRead).
+func (fs *FS) ReadAsync(ostID int, bytes float64, pat Pattern) *des.Future {
+	return fs.submitDir(ostID, bytes, fs.params.FileOverhead, pat, true)
+}
+
+// Read blocks the process until a whole-file read of the given size and
+// pattern from ostID completes.
+func (fs *FS) Read(p *des.Proc, ostID int, bytes float64, pat Pattern) {
+	p.Await(fs.ReadAsync(ostID, bytes, pat))
+}
+
 func (fs *FS) submit(ostID int, bytes, fileOverhead float64, pat Pattern) *des.Future {
+	return fs.submitDir(ostID, bytes, fileOverhead, pat, false)
+}
+
+func (fs *FS) submitDir(ostID int, bytes, fileOverhead float64, pat Pattern, read bool) *des.Future {
 	o := fs.osts[ostID]
 	f := fs.eng.NewFuture()
 	if bytes <= 0 {
@@ -192,6 +216,7 @@ func (fs *FS) submit(ostID int, bytes, fileOverhead float64, pat Pattern) *des.F
 			remaining: bytes*jitter + overhead,
 			payload:   bytes,
 			pat:       pat,
+			read:      read,
 			future:    f,
 		}
 		o.advance()
@@ -280,6 +305,7 @@ type transfer struct {
 	remaining float64 // jitter-inflated bytes left to serve
 	payload   float64 // real bytes (accounted on completion)
 	pat       Pattern
+	read      bool // accounted to TotalBytesRead, not TotalBytes
 	future    *des.Future
 }
 
@@ -359,7 +385,11 @@ func (o *ost) recompute() {
 	live := o.active[:0]
 	for _, t := range o.active {
 		if t.remaining <= 0 {
-			o.fs.totalBytes += t.payload
+			if t.read {
+				o.fs.totalBytesRead += t.payload
+			} else {
+				o.fs.totalBytes += t.payload
+			}
 			o.fs.activeTransfers--
 			if o.fs.activeTransfers == 0 {
 				o.fs.busyTotal += o.fs.eng.Now() - o.fs.busySince

@@ -2,6 +2,8 @@ package storage
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/des"
@@ -30,6 +32,7 @@ type simModel struct {
 
 	mu           sync.Mutex
 	bytesWritten float64
+	bytesRead    float64
 	files        int
 	active       int
 	busySince    float64
@@ -92,17 +95,24 @@ func (m *simModel) beginTransfer() {
 	m.mu.Unlock()
 }
 
-func (m *simModel) endTransfer(bytes float64) {
+func (m *simModel) endTransfer(bytes float64, read bool) {
 	m.mu.Lock()
 	m.active--
 	if m.active == 0 {
 		m.busyTotal += m.eng.Now() - m.busySince
 	}
-	m.bytesWritten += bytes
+	if read {
+		m.bytesRead += bytes
+	} else {
+		m.bytesWritten += bytes
+	}
 	m.mu.Unlock()
 }
 
-func (m *simModel) write(p *des.Proc, target int, bytes float64, pat Pattern, overhead float64) {
+// transfer serves one stream — write or read — on a target: reads are
+// priced exactly like writes (same per-target FIFO, same pattern
+// efficiency), so the restart path inherits the model's determinism.
+func (m *simModel) transfer(p *des.Proc, target int, bytes float64, pat Pattern, overhead float64, read bool) {
 	if bytes <= 0 {
 		return
 	}
@@ -110,21 +120,37 @@ func (m *simModel) write(p *des.Proc, target int, bytes float64, pat Pattern, ov
 	p.Acquire(t, 1)
 	m.beginTransfer()
 	p.Wait(overhead + bytes/(m.bw*m.eff(pat)))
-	m.endTransfer(bytes)
+	m.endTransfer(bytes, read)
 	t.Release(1)
 }
 
-func (m *simModel) writeAsync(target int, bytes float64, pat Pattern) *des.Future {
+func (m *simModel) write(p *des.Proc, target int, bytes float64, pat Pattern, overhead float64) {
+	m.transfer(p, target, bytes, pat, overhead, false)
+}
+
+func (m *simModel) read(p *des.Proc, target int, bytes float64, pat Pattern) {
+	m.transfer(p, target, bytes, pat, m.overhead, true)
+}
+
+func (m *simModel) transferAsync(target int, bytes float64, pat Pattern, read bool) *des.Future {
 	f := m.eng.NewFuture()
 	if bytes <= 0 {
 		f.Complete()
 		return f
 	}
-	m.eng.Spawn("storage-write", func(p *des.Proc) {
-		m.write(p, target, bytes, pat, m.overhead)
+	m.eng.Spawn("storage-xfer", func(p *des.Proc) {
+		m.transfer(p, target, bytes, pat, m.overhead, read)
 		f.Complete()
 	})
 	return f
+}
+
+func (m *simModel) writeAsync(target int, bytes float64, pat Pattern) *des.Future {
+	return m.transferAsync(target, bytes, pat, false)
+}
+
+func (m *simModel) readAsync(target int, bytes float64, pat Pattern) *des.Future {
+	return m.transferAsync(target, bytes, pat, true)
 }
 
 func (m *simModel) accounting() Accounting {
@@ -136,6 +162,7 @@ func (m *simModel) accounting() Accounting {
 	}
 	return Accounting{
 		BytesWritten: m.bytesWritten,
+		BytesRead:    m.bytesRead,
 		IOBusyTime:   busy,
 		FilesCreated: m.files,
 	}
@@ -147,9 +174,11 @@ func (m *simModel) accounting() Accounting {
 type Memory struct {
 	*simModel
 
-	omu     sync.Mutex
-	objects map[string][]byte
-	objByte int64
+	omu      sync.Mutex
+	objects  map[string][]byte
+	objByte  int64
+	objReads int
+	objRead  int64
 }
 
 // NewMemory builds a memory backend with the given number of targets
@@ -200,6 +229,16 @@ func (b *Memory) WriteAsync(target int, bytes float64, pat Pattern) *des.Future 
 	return b.writeAsync(target, bytes, pat)
 }
 
+// Read implements Backend.
+func (b *Memory) Read(p *des.Proc, target int, bytes float64, pat Pattern) {
+	b.read(p, target, bytes, pat)
+}
+
+// ReadAsync implements Backend.
+func (b *Memory) ReadAsync(target int, bytes float64, pat Pattern) *des.Future {
+	return b.readAsync(target, bytes, pat)
+}
+
 // PlaceFile implements Backend: a reproducible random draw of targets.
 func (b *Memory) PlaceFile(stripes int, r *rng.Stream) []int {
 	return placeUniform(b.targetCount(), stripes, r)
@@ -220,25 +259,43 @@ func (b *Memory) Put(name string, data []byte) error {
 	return nil
 }
 
-// Object returns a stored object's bytes.
-func (b *Memory) Object(name string) ([]byte, bool) {
+// Get implements ObjectReader: a copy of the stored bytes.
+func (b *Memory) Get(name string) ([]byte, error) {
 	b.omu.Lock()
 	defer b.omu.Unlock()
 	d, ok := b.objects[name]
 	if !ok {
-		return nil, false
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	return append([]byte(nil), d...), true
+	b.objReads++
+	b.objRead += int64(len(d))
+	return append([]byte(nil), d...), nil
 }
 
-// ObjectNames returns the names of all stored objects.
-func (b *Memory) ObjectNames() []string {
+// List implements ObjectReader: stored names with the prefix, ascending.
+func (b *Memory) List(prefix string) ([]string, error) {
 	b.omu.Lock()
 	defer b.omu.Unlock()
 	names := make([]string, 0, len(b.objects))
 	for n := range b.objects {
-		names = append(names, n)
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
 	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Object returns a stored object's bytes (the pre-Get boolean API, kept
+// for existing callers).
+func (b *Memory) Object(name string) ([]byte, bool) {
+	d, err := b.Get(name)
+	return d, err == nil
+}
+
+// ObjectNames returns the names of all stored objects.
+func (b *Memory) ObjectNames() []string {
+	names, _ := b.List("")
 	return names
 }
 
@@ -248,6 +305,8 @@ func (b *Memory) Accounting() Accounting {
 	b.omu.Lock()
 	acc.Objects = len(b.objects)
 	acc.ObjectBytes = b.objByte
+	acc.ObjectsRead = b.objReads
+	acc.ObjectReadBytes = b.objRead
 	b.omu.Unlock()
 	return acc
 }

@@ -1,6 +1,9 @@
 package storage
 
 import (
+	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/des"
@@ -10,20 +13,24 @@ import (
 )
 
 // PFS adapts the discrete-event Lustre model to the Backend interface.
-// The simulated face delegates to pfs.FS; the real face (Put) has no
-// storage behind it — a pure model — so it only accounts the object.
+// The simulated face delegates to pfs.FS; the real face has no storage
+// behind it — a pure model — so Put only accounts the object and Get
+// charges the read before reporting ErrNoPayload. Names are retained,
+// so List works and Get can tell "never stored" from "not retained".
 type PFS struct {
 	fs *pfs.FS
 
-	mu      sync.Mutex
-	creates int
-	objects int
-	objByte int64
+	mu       sync.Mutex
+	creates  int
+	objSize  map[string]int64
+	objByte  int64
+	objReads int
+	objRead  int64
 }
 
 // NewPFS wraps a fresh pfs.FS over the given parameters.
 func NewPFS(eng *des.Engine, params topology.PFSParams, r *rng.Stream) *PFS {
-	return &PFS{fs: pfs.New(eng, params, r)}
+	return &PFS{fs: pfs.New(eng, params, r), objSize: map[string]int64{}}
 }
 
 // FS exposes the underlying model (diagnostics, pfs-specific tests).
@@ -67,19 +74,67 @@ func (b *PFS) WriteAsync(target int, bytes float64, pat Pattern) *des.Future {
 	return b.fs.WriteAsync(target%b.fs.OSTCount(), bytes, pfsPattern(pat))
 }
 
+// Read implements Backend.
+func (b *PFS) Read(p *des.Proc, target int, bytes float64, pat Pattern) {
+	b.fs.Read(p, target%b.fs.OSTCount(), bytes, pfsPattern(pat))
+}
+
+// ReadAsync implements Backend.
+func (b *PFS) ReadAsync(target int, bytes float64, pat Pattern) *des.Future {
+	return b.fs.ReadAsync(target%b.fs.OSTCount(), bytes, pfsPattern(pat))
+}
+
 // PlaceFile implements Backend (Lustre's randomized allocator).
 func (b *PFS) PlaceFile(stripes int, r *rng.Stream) []int {
 	return b.fs.PlaceFile(stripes, r)
 }
 
 // Put implements ObjectStore. The DES model stores no payloads, so the
-// object is accounted and dropped.
+// object's name and size are accounted and the bytes dropped.
 func (b *PFS) Put(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("storage: empty object name")
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.objects++
+	if old, ok := b.objSize[name]; ok {
+		b.objByte -= old
+	}
+	b.objSize[name] = int64(len(data))
 	b.objByte += int64(len(data))
 	return nil
+}
+
+// Get implements ObjectReader. The read is charged to the ledger at the
+// object's recorded size, but the model retained no payload: a known
+// name returns ErrNoPayload, an unknown one ErrNotFound. Virtual read
+// *time* is charged through the simulated face (Read/ReadAsync), which
+// is what the restart model in internal/iostrat drives.
+func (b *PFS) Get(name string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	size, ok := b.objSize[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	b.objReads++
+	b.objRead += size
+	return nil, fmt.Errorf("%w: %q", ErrNoPayload, name)
+}
+
+// List implements ObjectReader: recorded names with the prefix,
+// ascending.
+func (b *PFS) List(prefix string) ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.objSize))
+	for n := range b.objSize {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // Accounting implements Backend.
@@ -87,11 +142,14 @@ func (b *PFS) Accounting() Accounting {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return Accounting{
-		BytesWritten: b.fs.TotalBytes(),
-		IOBusyTime:   b.fs.IOBusyTime(),
-		FilesCreated: b.creates,
-		Objects:      b.objects,
-		ObjectBytes:  b.objByte,
+		BytesWritten:    b.fs.TotalBytes(),
+		BytesRead:       b.fs.TotalBytesRead(),
+		IOBusyTime:      b.fs.IOBusyTime(),
+		FilesCreated:    b.creates,
+		Objects:         len(b.objSize),
+		ObjectBytes:     b.objByte,
+		ObjectsRead:     b.objReads,
+		ObjectReadBytes: b.objRead,
 	}
 }
 

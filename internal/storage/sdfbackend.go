@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 
@@ -22,10 +23,12 @@ type SDF struct {
 	*simModel
 	dir string
 
-	omu     sync.Mutex
-	objSize map[string]int64  // object name → stored size (overwrites replace)
-	owner   map[string]string // flattened file name → object name (collision guard)
-	objByte int64
+	omu      sync.Mutex
+	objSize  map[string]int64  // object name → stored size (overwrites replace)
+	owner    map[string]string // flattened file name → object name (collision guard)
+	objByte  int64
+	objReads int
+	objRead  int64
 }
 
 // NewSDF builds an SDF backend storing objects under dir (created if
@@ -90,6 +93,16 @@ func (b *SDF) WriteAsync(target int, bytes float64, pat Pattern) *des.Future {
 	return b.writeAsync(target, bytes, pat)
 }
 
+// Read implements Backend.
+func (b *SDF) Read(p *des.Proc, target int, bytes float64, pat Pattern) {
+	b.read(p, target, bytes, pat)
+}
+
+// ReadAsync implements Backend.
+func (b *SDF) ReadAsync(target int, bytes float64, pat Pattern) *des.Future {
+	return b.readAsync(target, bytes, pat)
+}
+
 // PlaceFile implements Backend.
 func (b *SDF) PlaceFile(stripes int, r *rng.Stream) []int {
 	return placeUniform(b.targetCount(), stripes, r)
@@ -124,6 +137,10 @@ func (b *SDF) Put(name string, data []byte) error {
 	}
 	w.SetAttrInt("", "size", int64(len(data)))
 	w.SetAttrString("", "backend", b.Name())
+	// The unflattened name travels inside the file, so Get and List can
+	// recover it in a fresh process (and Get can reject a name that
+	// merely flattens to the same file).
+	w.SetAttrString("", "name", name)
 	if err := w.Close(); err != nil {
 		return err
 	}
@@ -137,36 +154,101 @@ func (b *SDF) Put(name string, data []byte) error {
 	return nil
 }
 
-// Object reads a stored object back from its SDF file.
-func (b *SDF) Object(name string) ([]byte, bool) {
-	r, err := sdf.Open(b.objectPath(name))
+// Get implements ObjectReader: the object is read back from its SDF
+// file. The name is hardened the same way Put's collision guard is: a
+// request whose name merely flattens to an existing file — the file
+// belongs to a different unflattened name — is rejected as a collision
+// instead of served, whether the owner is known from this process's
+// Puts or only from the name attribute inside the file.
+func (b *SDF) Get(name string) ([]byte, error) {
+	if name == "" {
+		return nil, fmt.Errorf("storage: empty object name")
+	}
+	path := b.objectPath(name)
+	b.omu.Lock()
+	if prev, taken := b.owner[path]; taken && prev != name {
+		b.omu.Unlock()
+		return nil, fmt.Errorf("storage: object %q collides with %q (both flatten to %s)",
+			name, prev, path)
+	}
+	b.omu.Unlock()
+	r, err := sdf.Open(path)
 	if err != nil {
-		return nil, false
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		return nil, err
 	}
 	defer r.Close()
-	if n, ok := r.AttrInt("", "size"); ok && n == 0 {
-		return []byte{}, true
+	if stored, ok := r.AttrString("", "name"); ok && stored != name {
+		return nil, fmt.Errorf("storage: object %q collides with %q (both flatten to %s)",
+			name, stored, path)
 	}
-	data, err := r.ReadDataset("data")
+	var data []byte
+	if n, ok := r.AttrInt("", "size"); !ok || n > 0 {
+		data, err = r.ReadDataset("data")
+		if err != nil {
+			return nil, fmt.Errorf("storage: object %q: %w", name, err)
+		}
+	}
+	b.omu.Lock()
+	b.objReads++
+	b.objRead += int64(len(data))
+	b.omu.Unlock()
+	return data, nil
+}
+
+// List implements ObjectReader: the directory is scanned and each
+// file's unflattened name recovered from its name attribute (falling
+// back to the file name for objects written by other tools), so a
+// fresh process can list a store left by an earlier run.
+func (b *SDF) List(prefix string) ([]string, error) {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		flat, ok := strings.CutSuffix(e.Name(), ".sdf")
+		if !ok || e.IsDir() {
+			continue
+		}
+		name := flat
+		// Flattening only rewrites path separators to "_": a flat name
+		// without one is provably the original, so only ambiguous files
+		// need opening for their name attribute.
+		if strings.Contains(flat, "_") {
+			if r, err := sdf.Open(filepath.Join(b.dir, e.Name())); err == nil {
+				if stored, ok := r.AttrString("", "name"); ok {
+					name = stored
+				}
+				r.Close()
+			}
+		}
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Object reads a stored object back from its SDF file (the pre-Get
+// boolean API, kept for existing callers).
+func (b *SDF) Object(name string) ([]byte, bool) {
+	data, err := b.Get(name)
 	if err != nil {
 		return nil, false
+	}
+	if data == nil {
+		data = []byte{}
 	}
 	return data, true
 }
 
-// ObjectNames lists the stored objects (file names minus the .sdf
-// extension).
+// ObjectNames lists the stored objects.
 func (b *SDF) ObjectNames() []string {
-	entries, err := os.ReadDir(b.dir)
-	if err != nil {
-		return nil
-	}
-	var names []string
-	for _, e := range entries {
-		if n, ok := strings.CutSuffix(e.Name(), ".sdf"); ok && !e.IsDir() {
-			names = append(names, n)
-		}
-	}
+	names, _ := b.List("")
 	return names
 }
 
@@ -185,6 +267,8 @@ func (b *SDF) Accounting() Accounting {
 	b.omu.Lock()
 	acc.Objects = len(b.objSize)
 	acc.ObjectBytes = b.objByte
+	acc.ObjectsRead = b.objReads
+	acc.ObjectReadBytes = b.objRead
 	b.omu.Unlock()
 	return acc
 }

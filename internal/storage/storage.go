@@ -12,20 +12,33 @@
 //     model, but real objects are persisted as SDF files via
 //     internal/sdf, so small runs leave inspectable artifacts.
 //
-// A Backend has two faces. The simulated face (Create/Open/Close/Write,
-// *des.Proc-blocking) charges virtual time and feeds the cost
-// accounting; it is what the iostrat strategies drive. The real face
-// (Put) stores actual bytes and is what the runtime cluster layer and
-// plugins use; on the pure DES model it degrades to accounting only.
+// A Backend has two faces. The simulated face (Create/Open/Close/
+// Write/Read, *des.Proc-blocking) charges virtual time and feeds the
+// cost accounting; it is what the iostrat strategies drive. The real
+// face (Put/Get/List) stores and serves actual bytes and is what the
+// runtime cluster layer, restart path and plugins use; on the pure DES
+// model it degrades to accounting only (Get returns ErrNoPayload).
 package storage
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/des"
 	"repro/internal/rng"
 	"repro/internal/topology"
 )
+
+// ErrNotFound is returned by Get when no object with the given name was
+// ever stored. Callers should test with errors.Is.
+var ErrNotFound = errors.New("storage: object not found")
+
+// ErrNoPayload is returned by Get on backends that account objects
+// without retaining their bytes (the pure pfs cost model): the object
+// exists — List sees it, the read is charged to the ledger — but there
+// is nothing to hand back. Restart paths treat it as "known but not
+// recoverable from this backend".
+var ErrNoPayload = errors.New("storage: object payload not retained")
 
 // Pattern classifies a write stream's access pattern; it mirrors the
 // pfs patterns so every backend can price concurrency the same way.
@@ -64,24 +77,49 @@ type Accounting struct {
 	IOBusyTime float64
 	// FilesCreated counts simulated file creates (metadata ops).
 	FilesCreated int
+	// BytesRead is the completed simulated read payload in bytes (the
+	// restart path's mirror of BytesWritten).
+	BytesRead float64
 	// Objects and ObjectBytes count real objects stored through Put.
 	Objects     int
 	ObjectBytes int64
+	// ObjectsRead and ObjectReadBytes count real objects served back
+	// through Get (pfs counts the request even though it returns no
+	// payload).
+	ObjectsRead     int
+	ObjectReadBytes int64
 }
 
-// ObjectStore is the real-data face of a backend: store a named blob.
-// Every Backend implements it; consumers that only persist objects
-// (the cluster layer, plugins) should depend on this narrow interface.
+// ObjectStore is the real-data write face of a backend: store a named
+// blob. Every Backend implements it; consumers that only persist
+// objects (the cluster layer, plugins) should depend on this narrow
+// interface.
 type ObjectStore interface {
 	// Put durably stores data under name. Implementations must be safe
 	// for concurrent use.
 	Put(name string, data []byte) error
 }
 
+// ObjectReader is the real-data read face of a backend: fetch objects
+// back and enumerate what is stored. Restart/replay consumers
+// (cluster.Restore, sdfdump's store listing) should depend on this
+// narrow interface.
+type ObjectReader interface {
+	// Get returns a stored object's bytes. It returns ErrNotFound for a
+	// name never stored and ErrNoPayload on backends that account
+	// objects without retaining bytes. Implementations must be safe for
+	// concurrent use.
+	Get(name string) ([]byte, error)
+	// List returns the stored object names with the given prefix,
+	// ascending ("" lists everything).
+	List(prefix string) ([]string, error)
+}
+
 // Backend is a storage target: simulated operations that charge virtual
 // time on a des.Proc, a real object path, and cost accounting.
 type Backend interface {
 	ObjectStore
+	ObjectReader
 
 	// Name identifies the backend kind in logs and reports.
 	Name() string
@@ -106,6 +144,16 @@ type Backend interface {
 	// WriteAsync submits a whole-file write and returns a future
 	// completed when the transfer finishes.
 	WriteAsync(target int, bytes float64, pat Pattern) *des.Future
+
+	// Read blocks until a whole-file read of bytes with the given
+	// pattern from the target completes (per-file overhead charged) —
+	// the restart path's mirror of Write. Reads flow through the same
+	// per-target queues as writes, so a restart competes with whatever
+	// else the storage system serves.
+	Read(p *des.Proc, target int, bytes float64, pat Pattern)
+	// ReadAsync submits a whole-file read and returns a future
+	// completed when the transfer finishes.
+	ReadAsync(target int, bytes float64, pat Pattern) *des.Future
 
 	// PlaceFile chooses stripes distinct targets for a new file, drawn
 	// from r so placement is reproducible per caller.

@@ -2,6 +2,8 @@ package storage
 
 import (
 	"bytes"
+	"errors"
+	"sort"
 	"testing"
 
 	"repro/internal/des"
@@ -230,6 +232,141 @@ func TestPatternString(t *testing.T) {
 	}
 	if Pattern(42).String() != "Pattern(42)" {
 		t.Error("unknown pattern formatting wrong")
+	}
+}
+
+// TestGetListRoundTrip drives the full real read face on every
+// backend: Put → List → Get, with the pfs model accounting the read
+// but returning ErrNoPayload instead of bytes.
+func TestGetListRoundTrip(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			b := newBackend(t, kind, des.NewEngine())
+			payload := []byte("iteration state \x00\x7f")
+			objects := map[string][]byte{
+				"job-root000-it000000": payload,
+				"job-root000-it000001": []byte("x"),
+				"other-it000000":       []byte("y"),
+			}
+			for name, data := range objects {
+				if err := b.Put(name, data); err != nil {
+					t.Fatalf("Put(%s): %v", name, err)
+				}
+			}
+
+			all, err := b.List("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(all) != 3 || !sort.StringsAreSorted(all) {
+				t.Fatalf("List(\"\") = %v", all)
+			}
+			job, err := b.List("job-")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(job) != 2 {
+				t.Fatalf("List(job-) = %v, want the 2 job objects", job)
+			}
+			none, err := b.List("absent")
+			if err != nil || len(none) != 0 {
+				t.Fatalf("List(absent) = %v, %v", none, err)
+			}
+
+			got, err := b.Get("job-root000-it000000")
+			if kind == KindPFS {
+				if !errors.Is(err, ErrNoPayload) {
+					t.Fatalf("pfs Get must report ErrNoPayload, got %v", err)
+				}
+			} else {
+				if err != nil || !bytes.Equal(got, payload) {
+					t.Fatalf("Get round trip failed: %q, %v", got, err)
+				}
+			}
+			if _, err := b.Get("never-stored"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing object: got %v, want ErrNotFound", err)
+			}
+
+			acc := b.Accounting()
+			if acc.ObjectsRead != 1 {
+				t.Errorf("ObjectsRead = %d, want 1 (missing names are not reads)", acc.ObjectsRead)
+			}
+			if acc.ObjectReadBytes != int64(len(payload)) {
+				t.Errorf("ObjectReadBytes = %d, want %d", acc.ObjectReadBytes, len(payload))
+			}
+		})
+	}
+}
+
+// TestSimulatedReadFace: the restart path's Read/ReadAsync mirror of
+// the write face, on every backend.
+func TestSimulatedReadFace(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			eng := des.NewEngine()
+			b := newBackend(t, kind, eng)
+			const perRead = 5e6
+			eng.Spawn("reader", func(p *des.Proc) {
+				b.BeginPhase()
+				b.Open(p)
+				b.Read(p, 0, perRead, BigSequential)
+				p.Await(b.ReadAsync(1, perRead, BigSequential))
+				b.Close(p)
+			})
+			end := eng.Run()
+			if end <= 0 {
+				t.Fatal("reads charged no virtual time")
+			}
+			acc := b.Accounting()
+			if acc.BytesRead != 2*perRead {
+				t.Errorf("BytesRead = %v, want %v", acc.BytesRead, 2*perRead)
+			}
+			if acc.BytesWritten != 0 {
+				t.Errorf("reads leaked into BytesWritten: %v", acc.BytesWritten)
+			}
+			if acc.IOBusyTime <= 0 || acc.IOBusyTime > end {
+				t.Errorf("IOBusyTime = %v outside (0, %v]", acc.IOBusyTime, end)
+			}
+		})
+	}
+}
+
+// TestSDFGetCollidedName: a name that merely flattens to an existing
+// file must be rejected by Get, in-process and from a fresh backend.
+func TestSDFGetCollidedName(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewSDF(nil, 4, 1e9, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("a/b", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("a_b"); err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("collided Get must fail with a collision error, got %v", err)
+	}
+	if got, err := b.Get("a/b"); err != nil || !bytes.Equal(got, []byte{1}) {
+		t.Fatalf("owner Get broken: %q, %v", got, err)
+	}
+	// A fresh backend over the same directory has no in-memory owner
+	// map; the name attribute inside the file must still catch it.
+	fresh, err := NewSDF(nil, 4, 1e9, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Get("a_b"); err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("fresh-process collided Get must fail with a collision error, got %v", err)
+	}
+	if got, err := fresh.Get("a/b"); err != nil || !bytes.Equal(got, []byte{1}) {
+		t.Fatalf("fresh-process owner Get broken: %q, %v", got, err)
+	}
+	// List recovers the unflattened name from the file.
+	names, err := fresh.List("a/")
+	if err != nil || len(names) != 1 || names[0] != "a/b" {
+		t.Fatalf("List = %v, %v; want [a/b]", names, err)
+	}
+	if _, err := fresh.Get(""); err == nil {
+		t.Fatal("empty name must error")
 	}
 }
 
