@@ -1,9 +1,15 @@
 # Local and CI entry points — .github/workflows/ci.yml calls exactly
-# these targets, so a green `make ci` means a green workflow run.
+# these targets, so a green `make ci` means a green workflow run
+# (except `lint`, which fetches its pinned tools from the network and
+# therefore runs in CI and on demand, not inside `make ci`).
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check bench failure-race failure-smoke restart-smoke docs-check ci
+# Pinned static-analysis tool versions (the lint job must not float).
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: build test vet fmt fmt-check bench failure-race failure-smoke restart-smoke c1-smoke fuzz-smoke lint docs-check ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +34,28 @@ restart-smoke:
 	$(GO) run ./cmd/damaris-bench -quick -exp r1 -backend sdf -backend-dir out/restart-smoke
 	$(GO) run ./cmd/damaris-bench -restart-from out/restart-smoke/fail0
 
+# C1 compression smoke: the codec × dataset sweep with the adaptive
+# selector at quick scale, then a compressed-store restart round trip
+# on disk — write framed objects through the adaptive pipeline, replay
+# them via -restart-from, and list them with sdfdump (codec + ratio).
+c1-smoke:
+	$(GO) run ./cmd/damaris-bench -quick -exp c1
+	$(GO) run ./cmd/damaris-bench -quick -exp r1 -backend sdf -codec adaptive -backend-dir out/c1-smoke
+	$(GO) run ./cmd/damaris-bench -restart-from out/c1-smoke/fail0
+	$(GO) run ./cmd/sdfdump out/c1-smoke/fail0
+
+# Short fuzz passes over the object decoders; `go test -fuzz` takes
+# one package per invocation.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzBatchCodec$$' -fuzztime 10s ./internal/cluster
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime 10s ./internal/storage
+
+# Static analysis at pinned versions (fetches the tools on demand, so
+# it needs network access; CI runs it as its own job).
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
 # Documentation invariants: intra-repo markdown links resolve and every
 # package has a godoc package comment (see cmd/docscheck).
 docs-check:
@@ -46,4 +74,4 @@ fmt-check:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build vet fmt-check docs-check test failure-race bench failure-smoke restart-smoke
+ci: build vet fmt-check docs-check test failure-race bench failure-smoke restart-smoke c1-smoke fuzz-smoke

@@ -23,6 +23,13 @@
 //	damaris-bench -exp r1                          # write + restore sweep
 //	damaris-bench -exp r1 -backend sdf -backend-dir out/ckpt   # leave artifacts
 //	damaris-bench -restart-from out/ckpt/fail0     # replay a stored run
+//
+// Compression pipeline (experiment C1 and the -codec option):
+//
+//	damaris-bench -exp c1                          # codec sweep + adaptive selection
+//	damaris-bench -exp r1 -backend sdf -codec adaptive -backend-dir out/ckpt
+//	                                               # compressed store, framed objects
+//	damaris-bench -restart-from out/ckpt/fail0     # replays compressed stores too
 package main
 
 import (
@@ -42,7 +49,7 @@ import (
 
 func main() {
 	var (
-		expList     = flag.String("exp", "all", "comma-separated experiment ids (e1..e8,a1,a2,f1,r1) or 'all'")
+		expList     = flag.String("exp", "all", "comma-separated experiment ids (e1..e8,a1,a2,f1,r1,c1) or 'all'")
 		quick       = flag.Bool("quick", false, "reduced scale for a fast smoke run")
 		seed        = flag.Uint64("seed", 2013, "root seed for all stochastic inputs")
 		iters       = flag.Int("iters", 0, "output phases per run (0 = default)")
@@ -54,6 +61,7 @@ func main() {
 		bdir        = flag.String("backend-dir", "out/sdf-objects", "artifact directory for the sdf backend")
 		failNodes   = flag.String("fail-nodes", "", "comma-separated node ids to kill in tree-mode runs")
 		failAt      = flag.Int("fail-at", 0, "iteration at which -fail-nodes die")
+		codec       = flag.String("codec", "", "storage compression pipeline: none, rle, delta, gorilla, flate, or adaptive")
 		restartFrom = flag.String("restart-from", "", "restore a stored run from an sdf object-store directory, report what is recoverable, and exit")
 	)
 	flag.Parse()
@@ -79,6 +87,13 @@ func main() {
 	opts.Backend = *backend
 	opts.BackendDir = *bdir
 	opts.FailAt = *failAt
+	if *codec != "" && *codec != "none" {
+		if err := storage.ValidateCodecName(*codec); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -codec: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Codec = *codec
+	}
 	if *failNodes != "" {
 		for _, part := range strings.Split(*failNodes, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(part))
@@ -127,6 +142,7 @@ func main() {
 		{"a2", experiments.RunA2},
 		{"f1", experiments.RunF1},
 		{"r1", experiments.RunR1},
+		{"c1", experiments.RunC1},
 	}
 
 	failures := 0
@@ -166,10 +182,14 @@ func restoreReport(dir string) error {
 	if _, err := os.Stat(dir); err != nil {
 		return err
 	}
-	store, err := storage.NewSDF(nil, 1, 1e9, dir)
+	sdfStore, err := storage.NewSDF(nil, 1, 1e9, dir)
 	if err != nil {
 		return err
 	}
+	// The decompressing wrapper is always safe on the read side: framed
+	// objects decode, plain ones pass through, so one code path replays
+	// compressed and uncompressed stores alike.
+	store := storage.NewCompressing(sdfStore, storage.CompressionOptions{})
 	r, err := cluster.Restore(store, "")
 	if err != nil {
 		return err

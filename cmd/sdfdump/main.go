@@ -49,13 +49,16 @@ func main() {
 }
 
 // dumpStore lists an SDF object store: manifests first (the index a
-// restart navigates by), then the remaining objects.
+// restart navigates by), then the remaining objects. Objects stored
+// through the compression pipeline are reported with their codec and
+// ratio (the frame header is self-describing) and decoded before any
+// manifest/batch parsing, so compressed and plain stores list alike.
 func dumpStore(dir string) error {
-	store, err := storage.NewSDF(nil, 1, 1e9, dir)
+	inner, err := storage.NewSDF(nil, 1, 1e9, dir)
 	if err != nil {
 		return err
 	}
-	names, err := store.List("")
+	names, err := inner.List("")
 	if err != nil {
 		return err
 	}
@@ -66,7 +69,7 @@ func dumpStore(dir string) error {
 			plain = append(plain, name)
 			continue
 		}
-		data, err := store.Get(name)
+		data, codecNote, err := getDecoded(inner, name)
 		if err != nil {
 			fmt.Printf("  %-44s unreadable: %v\n", name, err)
 			continue
@@ -84,11 +87,15 @@ func dumpStore(dir string) error {
 		if m.Partial {
 			status = " PARTIAL"
 		}
-		fmt.Printf("  %-44s job=%s root=%d it=%d covers=%d nodes blocks=%d payload=%dB%s\n",
-			name, m.Job, m.Root, m.Iteration, len(m.Covers), len(m.Blocks), bytes, status)
+		if m.Codec != "" {
+			// The manifest also records how its data object was stored.
+			status += fmt.Sprintf(" data-codec=%s %d->%dB", m.Codec, m.RawBytes, m.EncodedBytes)
+		}
+		fmt.Printf("  %-44s job=%s root=%d it=%d covers=%d nodes blocks=%d payload=%dB%s%s\n",
+			name, m.Job, m.Root, m.Iteration, len(m.Covers), len(m.Blocks), bytes, codecNote, status)
 	}
 	for _, name := range plain {
-		data, err := store.Get(name)
+		data, codecNote, err := getDecoded(inner, name)
 		if err != nil {
 			fmt.Printf("  %-44s unreadable: %v\n", name, err)
 			continue
@@ -97,9 +104,27 @@ func dumpStore(dir string) error {
 		if b, err := cluster.DecodeBatch(data); err == nil {
 			kind = fmt.Sprintf("batch it=%d blocks=%d", b.Iteration, len(b.Blocks))
 		}
-		fmt.Printf("  %-44s %s, %d bytes\n", name, kind, len(data))
+		fmt.Printf("  %-44s %s, %d bytes%s\n", name, kind, len(data), codecNote)
 	}
 	return nil
+}
+
+// getDecoded fetches one object, transparently unwrapping the
+// compression frame; the note describes the codec and ratio for framed
+// objects ("" for plain ones).
+func getDecoded(store storage.ObjectReader, name string) (data []byte, note string, err error) {
+	raw, err := store.Get(name)
+	if err != nil {
+		return nil, "", err
+	}
+	if !storage.IsFramed(raw) {
+		return raw, "", nil
+	}
+	decoded, h, err := storage.DecodeFrame(raw)
+	if err != nil {
+		return nil, "", err
+	}
+	return decoded, fmt.Sprintf(" codec=%s %d->%dB (%.2fx)", h.Codec, h.RawSize, h.EncodedSize, h.Ratio()), nil
 }
 
 func dump(path string, withStats bool) error {

@@ -669,6 +669,16 @@ func (a *aggregator) emit(b *Batch, covered map[int]bool, partial bool) {
 		// manifest Put degrades the run to unreplayable, not broken —
 		// the data object is already durable.
 		m := newManifest(c.cfg.JobName, a.node, name, b, covers, partial)
+		if ci, ok := c.cfg.Store.(storage.ObjectCodecInfoer); ok {
+			// A compressing store knows how it just encoded the data
+			// object; the manifest records codec and sizes so a restart
+			// can see the compression story without fetching payloads.
+			if info, known := ci.ObjectCodec(name); known {
+				m.Codec = info.Codec
+				m.RawBytes = info.RawBytes
+				m.EncodedBytes = info.EncodedBytes
+			}
+		}
 		if merr := c.cfg.Store.Put(m.Name(), EncodeManifest(m)); merr != nil {
 			c.fail(fmt.Errorf("storing manifest %s: %w", m.Name(), merr))
 		} else {

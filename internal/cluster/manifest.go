@@ -47,6 +47,14 @@ type Manifest struct {
 	Partial bool `json:"partial"`
 	// Blocks indexes the object's blocks in normalized order.
 	Blocks []ManifestBlock `json:"blocks"`
+	// Codec, RawBytes and EncodedBytes record how the store encoded the
+	// data object when it runs the compression pipeline
+	// (storage.Compressing): the chosen codec and the object's payload
+	// size before and after encoding. Empty/zero on plain stores, so
+	// old manifests keep decoding.
+	Codec        string `json:"codec,omitempty"`
+	RawBytes     int64  `json:"raw_bytes,omitempty"`
+	EncodedBytes int64  `json:"encoded_bytes,omitempty"`
 }
 
 // Name returns the manifest's own object name.

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -349,5 +350,146 @@ func TestRestoreDisabledManifests(t *testing.T) {
 	}
 	if r.Manifests != 0 || len(r.Iterations) != 0 {
 		t.Fatalf("restored %d manifests, %d iterations", r.Manifests, len(r.Iterations))
+	}
+}
+
+// TestRestoreCompressedStore: a run written through the compression
+// pipeline restores exactly like a plain one — byte-identical blocks,
+// complete checkpoints — and the manifests record the codec story
+// (name plus raw/encoded sizes) for every data object.
+func TestRestoreCompressedStore(t *testing.T) {
+	const nodes, clients, iters = 9, 2, 3
+	for _, codec := range []string{"flate", storage.AdaptiveCodec} {
+		t.Run(codec, func(t *testing.T) {
+			inner := storage.NewMemory(nil, 4, 1e9)
+			store := storage.NewCompressing(inner, storage.CompressionOptions{Codec: codec})
+			runRestoreWorkload(t, store, nodes, clients, iters, nil)
+
+			r, err := Restore(store, "clustertest")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Problems) != 0 {
+				t.Fatalf("problems restoring a healthy compressed store: %v", r.Problems)
+			}
+			if got, want := r.TotalBlocks(), nodes*clients*iters; got != want {
+				t.Fatalf("recovered %d blocks, want %d", got, want)
+			}
+			for it := 0; it < iters; it++ {
+				ri := r.Iterations[it]
+				if ri == nil || !ri.Complete(nodes) {
+					t.Fatalf("iteration %d not a complete checkpoint: %+v", it, ri)
+				}
+				for _, blk := range ri.Blocks {
+					if !bytes.Equal(blk.Data, payload(blk.Node, blk.Source, it)) {
+						t.Fatalf("iteration %d block (%d,%d) differs after compressed round trip",
+							it, blk.Node, blk.Source)
+					}
+				}
+			}
+
+			// Every manifest must carry the data object's codec info.
+			names, err := store.List("clustertest-")
+			if err != nil {
+				t.Fatal(err)
+			}
+			manifests := 0
+			for _, name := range names {
+				if !IsManifestName(name) {
+					continue
+				}
+				manifests++
+				data, err := store.Get(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := DecodeManifest(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.Codec == "" || m.RawBytes <= 0 || m.EncodedBytes <= 0 {
+					t.Fatalf("manifest %s misses codec info: %+v", name, m)
+				}
+				info, ok := store.ObjectCodec(m.Object)
+				if !ok || info.Codec != m.Codec || info.RawBytes != m.RawBytes ||
+					info.EncodedBytes != m.EncodedBytes {
+					t.Fatalf("manifest %s codec info %+v disagrees with store %+v", name, m, info)
+				}
+			}
+			if manifests == 0 {
+				t.Fatal("no manifests found")
+			}
+
+			// A fresh reader over the same (inner) store — knowing nothing
+			// about how it was written — restores identically through a
+			// default decompressing wrapper.
+			fresh, err := Restore(storage.NewCompressing(inner, storage.CompressionOptions{}), "clustertest")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fresh.TotalBlocks() != r.TotalBlocks() || len(fresh.Problems) != 0 {
+				t.Fatalf("fresh reader recovered %d blocks (%v), want %d",
+					fresh.TotalBlocks(), fresh.Problems, r.TotalBlocks())
+			}
+		})
+	}
+}
+
+// TestRestoreCorruptFramedObject: a framed data object damaged at rest
+// is reported the same way a missing one is — a problem plus
+// PayloadMissing — instead of aborting or panicking.
+func TestRestoreCorruptFramedObject(t *testing.T) {
+	const nodes, clients, iters = 4, 1, 2
+	inner := storage.NewMemory(nil, 4, 1e9)
+	store := storage.NewCompressing(inner, storage.CompressionOptions{Codec: "flate"})
+	runRestoreWorkload(t, store, nodes, clients, iters, nil)
+
+	names, err := store.List("clustertest-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for _, name := range names {
+		if !IsManifestName(name) {
+			victim = name
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no data object found")
+	}
+	raw, err := inner.Get(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := inner.Put(victim, raw); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Restore(store, "clustertest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Problems) == 0 {
+		t.Fatal("corrupt framed object produced no problem report")
+	}
+	found := false
+	for _, p := range r.Problems {
+		if errors.Is(p, storage.ErrCorruptFrame) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("problems %v do not wrap ErrCorruptFrame", r.Problems)
+	}
+	damaged := 0
+	for _, ri := range r.Iterations {
+		if ri.PayloadMissing {
+			damaged++
+		}
+	}
+	if damaged == 0 {
+		t.Fatal("no iteration marked PayloadMissing after corruption")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"compress/flate"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -23,7 +24,21 @@ type Codec interface {
 	Decode(enc []byte, dstSize, elemSize int) ([]byte, error)
 }
 
-// ByName returns the registered codec with the given name.
+// ErrUnknownCodec is returned by ByName for a name outside the
+// registry. Consumers that parse codec names out of stored artifacts
+// (the storage frame header, SDF dataset headers) test with errors.Is,
+// so a corrupt or foreign codec name is reported the same way
+// everywhere.
+var ErrUnknownCodec = errors.New("compress: unknown codec")
+
+// Names lists the registered codec names, in registry order ("" is an
+// alias for "none" and is not listed).
+func Names() []string {
+	return []string{"none", "gorilla", "delta", "rle", "flate"}
+}
+
+// ByName returns the registered codec with the given name. Unknown
+// names return an error wrapping ErrUnknownCodec.
 func ByName(name string) (Codec, error) {
 	switch name {
 	case "none", "":
@@ -37,7 +52,7 @@ func ByName(name string) (Codec, error) {
 	case "flate":
 		return Flate{}, nil
 	}
-	return nil, fmt.Errorf("compress: unknown codec %q", name)
+	return nil, fmt.Errorf("%w %q", ErrUnknownCodec, name)
 }
 
 // Ratio returns rawLen/encLen, the paper's "600%" being 6.0.

@@ -3,6 +3,7 @@ package compress
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -52,8 +53,20 @@ func TestByName(t *testing.T) {
 			t.Errorf("ByName(%q).Name() = %q", name, c.Name())
 		}
 	}
-	if _, err := ByName("zstd"); err == nil {
-		t.Error("unknown codec should error")
+	if _, err := ByName("zstd"); !errors.Is(err, ErrUnknownCodec) {
+		t.Errorf("unknown codec should wrap ErrUnknownCodec, got %v", err)
+	}
+}
+
+func TestNamesAreRegistered(t *testing.T) {
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("Names() lists unregistered %q: %v", name, err)
+		}
+		if c.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, c.Name())
+		}
 	}
 }
 

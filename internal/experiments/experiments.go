@@ -48,6 +48,11 @@ type Options struct {
 	FailNodes []int
 	// FailAt is the death iteration for FailNodes (default 0).
 	FailAt int
+	// Codec enables the storage compression pipeline (the -codec bench
+	// flag): a codec name fixes the codec for every strategy run and
+	// the R1/C1 runtime stores, "adaptive" selects per dataset, ""
+	// disables it. C1 sweeps its own codecs regardless of this.
+	Codec string
 }
 
 // Default returns the paper-scale options: the Kraken sweep up to 9216
@@ -113,6 +118,7 @@ func (o Options) strategyConfig(cores int) iostrat.Config {
 		Backend:    storage.Kind(o.Backend),
 		BackendDir: o.BackendDir,
 		Fanout:     o.Fanout,
+		Codec:      o.Codec,
 	}
 	if len(o.FailNodes) > 0 {
 		sched := cluster.NewFailureSchedule()

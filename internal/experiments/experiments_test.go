@@ -348,3 +348,18 @@ func TestR1SDFArtifacts(t *testing.T) {
 		t.Fatal("no complete checkpoint in the no-failure artifacts")
 	}
 }
+
+func TestC1Quick(t *testing.T) {
+	rep, err := RunC1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Checks {
+		if !c.Pass() {
+			t.Errorf("C1 check failed: %s", c)
+		}
+	}
+	if len(rep.Tables) != 4 {
+		t.Fatalf("C1 produced %d tables, want 4", len(rep.Tables))
+	}
+}

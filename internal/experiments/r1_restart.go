@@ -117,6 +117,10 @@ func RunR1(opts Options) (Report, error) {
 
 	treeCfg := opts.strategyConfig(cores)
 	treeCfg.Fanout = fanout
+	// The DES model here prices the *layout* of the restart read; its
+	// checks compare against raw checkpoint bytes, so the compression
+	// pipeline stays off regardless of -codec (C1 prices that trade).
+	treeCfg.Codec = ""
 	treeRes, err := iostrat.RestartRead(treeCfg)
 	if err != nil {
 		return Report{}, err
@@ -126,6 +130,7 @@ func RunR1(opts Options) (Report, error) {
 
 	flatCfg := opts.strategyConfig(cores)
 	flatCfg.Fanout = 0
+	flatCfg.Codec = ""
 	flatRes, err := iostrat.RestartRead(flatCfg)
 	if err != nil {
 		return Report{}, err
@@ -197,10 +202,14 @@ func RunR1(opts Options) (Report, error) {
 
 // r1StoreName names the runtime store kind for the table title.
 func r1StoreName(opts Options) string {
+	name := "memory"
 	if storage.Kind(opts.Backend) == storage.KindSDF {
-		return "sdf"
+		name = "sdf"
 	}
-	return "memory"
+	if opts.Codec != "" {
+		name += "+" + opts.Codec
+	}
+	return name
 }
 
 func orDefault(s, d string) string {
@@ -212,16 +221,32 @@ func orDefault(s, d string) string {
 
 // r1Store builds the object store for one runtime run. Memory by
 // default; with -backend sdf the objects land on disk under
-// BackendDir/fail<i>, ready for `damaris-bench -restart-from`.
+// BackendDir/fail<i>, ready for `damaris-bench -restart-from`. With
+// -codec set the store runs the compression pipeline, making this the
+// compressed-store restart round trip: objects are framed on the way
+// in and must restore byte-for-byte on the way out.
 func r1Store(opts Options, run int) (storage.Backend, error) {
-	if storage.Kind(opts.Backend) != storage.KindSDF {
-		return storage.NewMemory(nil, 4, 1e9), nil
+	var be storage.Backend
+	if storage.Kind(opts.Backend) == storage.KindSDF {
+		dir := opts.BackendDir
+		if dir == "" {
+			dir = "out/r1-objects"
+		}
+		sdfBe, err := storage.NewSDF(nil, 4, 1e9, filepath.Join(dir, fmt.Sprintf("fail%d", run)))
+		if err != nil {
+			return nil, err
+		}
+		be = sdfBe
+	} else {
+		be = storage.NewMemory(nil, 4, 1e9)
 	}
-	dir := opts.BackendDir
-	if dir == "" {
-		dir = "out/r1-objects"
+	if opts.Codec != "" {
+		if err := storage.ValidateCodecName(opts.Codec); err != nil {
+			return nil, err
+		}
+		be = storage.NewCompressing(be, storage.CompressionOptions{Codec: opts.Codec})
 	}
-	return storage.NewSDF(nil, 4, 1e9, filepath.Join(dir, fmt.Sprintf("fail%d", run)))
+	return be, nil
 }
 
 // runR1Cluster drives a real cluster through the workload and returns

@@ -106,6 +106,8 @@ func runCollective(cfg Config) (Result, error) {
 	acc := be.Accounting()
 	res.BytesWritten = acc.BytesWritten
 	res.IOWindow = acc.IOBusyTime
+	res.BytesSaved = acc.BytesSaved
+	res.CodecCPUTime = acc.EncodeTime + acc.DecodeTime
 	res.FilesCreated = w.Iterations
 	res.DrainTime = res.TotalTime
 	return res, nil

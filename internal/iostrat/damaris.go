@@ -352,6 +352,8 @@ func runDamaris(cfg Config) (Result, error) {
 	acc := be.Accounting()
 	res.BytesWritten = acc.BytesWritten
 	res.IOWindow = acc.IOBusyTime
+	res.BytesSaved = acc.BytesSaved
+	res.CodecCPUTime = acc.EncodeTime + acc.DecodeTime
 	res.DedicatedTotal = float64(plat.Nodes*dedicated) * drainEnd
 	for _, s := range shms {
 		res.SkippedIters += s.skipped

@@ -65,6 +65,8 @@ func runFPP(cfg Config) (Result, error) {
 	acc := be.Accounting()
 	res.BytesWritten = acc.BytesWritten
 	res.IOWindow = acc.IOBusyTime
+	res.BytesSaved = acc.BytesSaved
+	res.CodecCPUTime = acc.EncodeTime + acc.DecodeTime
 	res.FilesCreated = ranks * w.Iterations
 	res.DrainTime = res.TotalTime
 	return res, nil

@@ -139,6 +139,16 @@ type Config struct {
 	// CompressRate is the dedicated-core compression speed in bytes/s
 	// (default 400 MB/s).
 	CompressRate float64
+	// Codec enables the storage-layer compression pipeline: the backend
+	// is wrapped in storage.Compressing, so every Write/Read charges
+	// real per-codec CPU rates on the dedicated cores and moves only
+	// the encoded volume (and, on backends that persist objects, real
+	// payloads are framed and encoded). "" or "none" disables it; a
+	// codec name fixes the codec; storage.AdaptiveCodec lets the
+	// selector choose. Codec supersedes the abstract CompressRatio knob
+	// — setting both resets CompressRatio to 1 so the cost is not
+	// charged twice.
+	Codec string
 	// Failures schedules node deaths in tree mode (nil: none), the DES
 	// mirror of cluster.Config.Failures: when a scheduled node's
 	// dedicated core reaches its death iteration, the node's I/O stack
@@ -175,6 +185,14 @@ func (c Config) withDefaults() Config {
 	if c.CompressRate == 0 {
 		c.CompressRate = 400e6
 	}
+	if c.Codec == "none" {
+		c.Codec = ""
+	}
+	if c.Codec != "" {
+		// The pipeline prices compression inside the backend; the legacy
+		// per-strategy knob must not charge it a second time.
+		c.CompressRatio = 1
+	}
 	if c.CollectiveBuffer == 0 {
 		c.CollectiveBuffer = 16e6
 	}
@@ -190,9 +208,23 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// newBackend builds the configured storage backend for one run.
+// newBackend builds the configured storage backend for one run,
+// wrapped in the compression pipeline when a codec is configured.
 func (c Config) newBackend(eng *des.Engine, r *rng.Stream) (storage.Backend, error) {
-	return storage.New(c.Backend, eng, c.Platform, r, c.BackendDir)
+	be, err := storage.New(c.Backend, eng, c.Platform, r, c.BackendDir)
+	if err != nil {
+		return nil, err
+	}
+	if c.Codec != "" {
+		if err := storage.ValidateCodecName(c.Codec); err != nil {
+			return nil, err
+		}
+		be = storage.NewCompressing(be, storage.CompressionOptions{
+			Codec:  c.Codec,
+			Engine: eng,
+		})
+	}
+	return be, nil
 }
 
 // Result reports what one strategy run measured.
@@ -222,6 +254,13 @@ type Result struct {
 	IOWindow float64
 	// FilesCreated counts MDS create operations.
 	FilesCreated int
+	// BytesSaved is the payload kept off the storage transfer by the
+	// Codec pipeline (0 without one); BytesWritten already reflects the
+	// shrunken volume.
+	BytesSaved float64
+	// CodecCPUTime is the codec CPU charged on the dedicated cores by
+	// the Codec pipeline (encode plus decode).
+	CodecCPUTime float64
 
 	// Damaris-only measurements.
 

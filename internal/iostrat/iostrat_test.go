@@ -3,6 +3,7 @@ package iostrat
 import (
 	"testing"
 
+	"repro/internal/storage"
 	"repro/internal/topology"
 )
 
@@ -210,5 +211,90 @@ func TestAggregationGranularityAblation(t *testing.T) {
 	if many.Throughput() >= one.Throughput() {
 		t.Errorf("fragmenting output did not reduce throughput: %v vs %v",
 			many.Throughput(), one.Throughput())
+	}
+}
+
+// TestCodecPipelineWiring: a Damaris run with the storage-codec
+// pipeline moves codec-ratio fewer bytes to storage, charges codec CPU
+// on the dedicated cores, leaves the application schedule untouched,
+// and works in tree mode too. An unknown codec errors out up front.
+func TestCodecPipelineWiring(t *testing.T) {
+	cfg := smallConfig()
+	plain, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := cfg
+	ccfg.Codec = "gorilla"
+	comp, err := Run(Damaris, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, ok := storage.Profile("gorilla")
+	if !ok {
+		t.Fatal("gorilla profile missing")
+	}
+	ratio := plain.BytesWritten / comp.BytesWritten
+	if ratio < prof.AssumedRatio*0.99 || ratio > prof.AssumedRatio*1.01 {
+		t.Errorf("storage bytes ratio = %v, want ~%v", ratio, prof.AssumedRatio)
+	}
+	if comp.BytesSaved <= 0 || comp.CodecCPUTime <= 0 {
+		t.Errorf("codec accounting missing: saved=%v cpu=%v", comp.BytesSaved, comp.CodecCPUTime)
+	}
+	if comp.TotalTime != plain.TotalTime {
+		t.Errorf("compression visible to the simulation: %v vs %v", comp.TotalTime, plain.TotalTime)
+	}
+	if comp.SkippedIters != plain.SkippedIters {
+		t.Errorf("compression changed skips: %d vs %d", comp.SkippedIters, plain.SkippedIters)
+	}
+
+	tcfg := ccfg
+	tcfg.Fanout = 2
+	tree, err := Run(Damaris, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.BytesSaved <= 0 {
+		t.Error("tree mode did not run the pipeline")
+	}
+
+	bad := cfg
+	bad.Codec = "zstd"
+	if _, err := Run(Damaris, bad); err == nil {
+		t.Fatal("unknown codec must error")
+	}
+
+	// "none" is a disable alias, and Codec supersedes CompressRatio.
+	alias := cfg
+	alias.Codec = "none"
+	alias.CompressRatio = 6
+	al, err := Run(Damaris, alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.BytesSaved != 0 {
+		t.Errorf("codec \"none\" still saved bytes: %v", al.BytesSaved)
+	}
+}
+
+// TestCodecRestartRead: the restart-read model through a compressing
+// backend reads the encoded volume and charges decode CPU.
+func TestCodecRestartRead(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Fanout = 4
+	plain, err := RestartRead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := cfg
+	ccfg.Codec = "gorilla"
+	comp, err := RestartRead(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := storage.Profile("gorilla")
+	ratio := plain.BytesRead / comp.BytesRead
+	if ratio < prof.AssumedRatio*0.99 || ratio > prof.AssumedRatio*1.01 {
+		t.Errorf("restart read ratio = %v, want ~%v", ratio, prof.AssumedRatio)
 	}
 }

@@ -1,0 +1,548 @@
+package storage
+
+import (
+	"fmt"
+	"regexp"
+	"sync"
+
+	"repro/internal/compress"
+	"repro/internal/des"
+)
+
+// AdaptiveCodec selects the per-dataset adaptive codec choice instead
+// of a fixed codec.
+const AdaptiveCodec = "adaptive"
+
+// DefaultCPUCostWeight is the spare-time discount on codec CPU in the
+// selection score: E4 measures the dedicated cores ≥75% idle, so a
+// codec second displaces roughly a quarter of a transfer second.
+const DefaultCPUCostWeight = 0.25
+
+// CodecProfile prices one codec for the cost model: how fast a
+// dedicated core runs it and, for the DES face where no real bytes
+// exist to measure, what compression ratio to assume.
+type CodecProfile struct {
+	// EncodeRate and DecodeRate are dedicated-core codec throughputs in
+	// raw bytes per second (0 = free, used by "none").
+	EncodeRate float64
+	DecodeRate float64
+	// AssumedRatio is the raw/encoded ratio the DES cost face charges
+	// when only simulated byte counts flow.
+	AssumedRatio float64
+}
+
+// defaultProfiles price the registered codecs. Rates are in the range
+// the paper's §IV.D setup implies (a few hundred MB/s of codec work on
+// one dedicated core, the E5 default being 400 MB/s); assumed ratios
+// follow the measured shape — Gorilla reaches the §IV.D 600% on smooth
+// float fields, DEFLATE trades much more CPU for a middling ratio on
+// binary data, RLE and delta are cheap but narrow.
+var defaultProfiles = map[string]CodecProfile{
+	"none":    {EncodeRate: 0, DecodeRate: 0, AssumedRatio: 1},
+	"rle":     {EncodeRate: 2e9, DecodeRate: 4e9, AssumedRatio: 3},
+	"delta":   {EncodeRate: 1.2e9, DecodeRate: 1.5e9, AssumedRatio: 2.5},
+	"gorilla": {EncodeRate: 800e6, DecodeRate: 1e9, AssumedRatio: 6},
+	"flate":   {EncodeRate: 120e6, DecodeRate: 400e6, AssumedRatio: 4},
+}
+
+// Profile returns the cost profile of a registered codec.
+func Profile(codec string) (CodecProfile, bool) {
+	p, ok := defaultProfiles[codec]
+	return p, ok
+}
+
+// CodecInfo records how one object was stored by the compression
+// pipeline; cluster manifests embed it so a restart knows each block
+// container's codec and sizes before fetching any payload.
+type CodecInfo struct {
+	// Codec is the chosen codec name.
+	Codec string
+	// RawBytes and EncodedBytes are the object's payload sizes before
+	// and after encoding (EncodedBytes excludes the frame header).
+	RawBytes     int64
+	EncodedBytes int64
+}
+
+// ObjectCodecInfoer is implemented by stores that can report how an
+// object was encoded (the Compressing wrapper). Consumers test for it
+// with a type assertion, so plain backends keep working unchanged.
+type ObjectCodecInfoer interface {
+	// ObjectCodec reports the codec info recorded when name was stored
+	// through this process, and ok=false for unknown or pass-through
+	// objects.
+	ObjectCodec(name string) (CodecInfo, bool)
+}
+
+// CodecCount is one codec's slice of the per-codec ledger.
+type CodecCount struct {
+	// Objects stored with this codec.
+	Objects int
+	// RawBytes and EncodedBytes they held before and after encoding.
+	RawBytes     int64
+	EncodedBytes int64
+}
+
+// CompressionOptions configure the Compressing wrapper.
+type CompressionOptions struct {
+	// Codec is a fixed codec name, or AdaptiveCodec (also the ""
+	// default) for the per-dataset selector.
+	Codec string
+	// Candidates are the codecs the adaptive selector trials (default:
+	// the full registry).
+	Candidates []string
+	// ElemSize is the element width handed to element-structured codecs
+	// (default: 8 when the payload length is a multiple of 8, else 4,
+	// else 1).
+	ElemSize int
+	// SampleBytes bounds the trial-encode sample per dataset (default
+	// 64 KiB).
+	SampleBytes int
+	// TransferBandwidth (bytes/s) converts codec CPU seconds into
+	// transfer-byte equivalents for the ratio×cost score: a codec is
+	// worth choosing when the bytes it saves outweigh the transfer-time
+	// equivalent of its CPU. Default 200 MB/s, the per-stream share a
+	// dedicated core typically sees of the modeled OST array.
+	TransferBandwidth float64
+	// CPUCostWeight discounts codec CPU in the score (default
+	// DefaultCPUCostWeight). Dedicated cores are mostly idle between
+	// drains (E4 measures the idle fraction; §IV.D spends exactly that
+	// "spare time" on compression), so a second of codec CPU costs less
+	// than a second of transfer. 1 prices CPU and transfer equally.
+	CPUCostWeight float64
+	// Engine lets the DES face charge codec CPU on WriteAsync/ReadAsync
+	// (which have no blocking proc to wait on). nil is fine when only
+	// the real object face or the blocking simulated face is used.
+	Engine *des.Engine
+	// DatasetKey maps an object name to the dataset the selector caches
+	// its choice under (default: strip the "-it<digits>" iteration part,
+	// so every iteration of a variable shares one choice).
+	DatasetKey func(name string) string
+}
+
+var iterationPart = regexp.MustCompile(`-it\d+`)
+
+// defaultDatasetKey strips the per-iteration part of cluster object
+// names, so "job-root000-it000042" and "-it000043" share a choice.
+func defaultDatasetKey(name string) string {
+	return iterationPart.ReplaceAllString(name, "")
+}
+
+func (o CompressionOptions) withDefaults() CompressionOptions {
+	if o.Codec == "" {
+		o.Codec = AdaptiveCodec
+	}
+	if len(o.Candidates) == 0 {
+		o.Candidates = compress.Names()
+	}
+	if o.SampleBytes <= 0 {
+		o.SampleBytes = 64 << 10
+	}
+	if o.TransferBandwidth <= 0 {
+		o.TransferBandwidth = 200e6
+	}
+	if o.CPUCostWeight <= 0 {
+		o.CPUCostWeight = DefaultCPUCostWeight
+	}
+	if o.DatasetKey == nil {
+		o.DatasetKey = defaultDatasetKey
+	}
+	return o
+}
+
+// elemSizeFor resolves the element width for one payload.
+func (o CompressionOptions) elemSizeFor(n int) int {
+	if o.ElemSize > 0 {
+		return o.ElemSize
+	}
+	switch {
+	case n%8 == 0:
+		return 8
+	case n%4 == 0:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// Compressing runs the internal/compress codecs on both faces of an
+// inner backend — the §IV.D pipeline on the real data path.
+//
+// Real face: Put trial-encodes a sample per dataset, picks the codec
+// minimizing ratio×cost (bytes moved plus the transfer-equivalent of
+// the codec CPU), caches the choice per dataset, and stores the object
+// framed (see frame.go); Get transparently decodes framed objects and
+// passes unframed ones through, so compressed and plain stores read
+// the same way.
+//
+// Simulated face: Write/Read charge the codec CPU time on the calling
+// proc — the dedicated core — and forward only the encoded volume to
+// the inner backend, the §IV.D trade of spare core time against NIC
+// and PFS bytes. The ledger grows BytesSaved, Encode/DecodeTime and
+// per-codec counters on top of the inner accounting.
+type Compressing struct {
+	Backend
+	opts CompressionOptions
+
+	mu     sync.Mutex
+	choice map[string]string // dataset key → cached codec choice
+	// info records how each object was stored — one small entry per
+	// object name, the same per-object footprint the inner backends'
+	// accounting maps (sdf/pfs objSize) already keep.
+	info map[string]CodecInfo
+	des  *selected // lazily chosen DES-face codec
+
+	bytesSaved float64
+	encodeTime float64
+	decodeTime float64
+	objects    int
+	rawBytes   int64
+	encBytes   int64
+	perCodec   map[string]CodecCount
+}
+
+// selected is one resolved codec choice.
+type selected struct {
+	codec    string
+	elemSize int
+}
+
+// NewCompressing wraps inner with the compression pipeline.
+func NewCompressing(inner Backend, opts CompressionOptions) *Compressing {
+	return &Compressing{
+		Backend:  inner,
+		opts:     opts.withDefaults(),
+		choice:   map[string]string{},
+		info:     map[string]CodecInfo{},
+		perCodec: map[string]CodecCount{},
+	}
+}
+
+// Name implements Backend: the inner name tagged with the codec mode.
+func (c *Compressing) Name() string {
+	return c.Backend.Name() + "+" + c.opts.Codec
+}
+
+// Inner returns the wrapped backend.
+func (c *Compressing) Inner() Backend { return c.Backend }
+
+// cpuCost converts codec CPU seconds for n raw bytes into
+// transfer-byte equivalents under the configured bandwidth, discounted
+// by the spare-time weight.
+func (c *Compressing) cpuCost(p CodecProfile, n float64) float64 {
+	if p.EncodeRate <= 0 {
+		return 0
+	}
+	return n / p.EncodeRate * c.opts.TransferBandwidth * c.opts.CPUCostWeight
+}
+
+// score is the selector's objective for one candidate on a sample:
+// encoded bytes moved plus the transfer equivalent of the encode CPU.
+// Lower is better; "none" scores exactly the raw size.
+func (c *Compressing) score(codec string, encLen int, rawLen float64) float64 {
+	prof := defaultProfiles[codec]
+	return float64(encLen) + c.cpuCost(prof, rawLen)
+}
+
+// chooseFor resolves the codec name for one object, consulting and
+// filling the per-dataset cache in adaptive mode. Only the codec is
+// cached — the element width is re-derived per payload, because later
+// objects of the same dataset can have different sizes (a partial
+// batch after a failure shrinks the root object). Callers hold c.mu.
+func (c *Compressing) chooseFor(name string, data []byte) (string, error) {
+	if c.opts.Codec != AdaptiveCodec {
+		if _, err := compress.ByName(c.opts.Codec); err != nil {
+			return "", err
+		}
+		return c.opts.Codec, nil
+	}
+	key := c.opts.DatasetKey(name)
+	if codec, ok := c.choice[key]; ok {
+		return codec, nil
+	}
+	elem := c.opts.elemSizeFor(len(data))
+	sample := data
+	if len(sample) > c.opts.SampleBytes {
+		n := c.opts.SampleBytes - c.opts.SampleBytes%elem
+		sample = sample[:n]
+	}
+	best := "none"
+	bestScore := c.score("none", len(sample), float64(len(sample)))
+	for _, cand := range c.opts.Candidates {
+		if cand == "none" {
+			continue
+		}
+		codec, err := compress.ByName(cand)
+		if err != nil {
+			return "", err
+		}
+		enc, err := codec.Encode(sample, elem)
+		if err != nil {
+			// The candidate cannot handle this element structure
+			// (e.g. delta on non-8-byte data): not a choice.
+			continue
+		}
+		// Trial encodes are real codec work on the dedicated core;
+		// charge them so the adaptive path's advantage is honest.
+		c.chargeEncode(defaultProfiles[cand], float64(len(sample)))
+		if s := c.score(cand, len(enc), float64(len(sample))); s < bestScore {
+			bestScore = s
+			best = cand
+		}
+	}
+	c.choice[key] = best
+	return best, nil
+}
+
+// chargeEncode accounts codec CPU for n raw bytes. Callers hold c.mu.
+func (c *Compressing) chargeEncode(p CodecProfile, n float64) float64 {
+	if p.EncodeRate <= 0 {
+		return 0
+	}
+	t := n / p.EncodeRate
+	c.encodeTime += t
+	return t
+}
+
+// chargeDecode accounts codec CPU for n raw bytes. Callers hold c.mu.
+func (c *Compressing) chargeDecode(p CodecProfile, n float64) float64 {
+	if p.DecodeRate <= 0 {
+		return 0
+	}
+	t := n / p.DecodeRate
+	c.decodeTime += t
+	return t
+}
+
+// Put implements ObjectStore: encode with the chosen codec, frame, and
+// hand the framed object to the inner backend. An object the chosen
+// codec cannot handle (element width does not divide this payload) or
+// whose encoding does not pay for itself (framed size ≥ raw size)
+// falls back to a "none" frame, so it costs only the header — a cached
+// per-dataset choice never makes a later Put fail.
+func (c *Compressing) Put(name string, data []byte) error {
+	c.mu.Lock()
+	used, err := c.chooseFor(name, data)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	framed, err := EncodeFrame(used, data, c.opts.elemSizeFor(len(data)))
+	if err != nil {
+		// The codec is registered (chooseFor validated it), so the
+		// failure is a capability mismatch with this payload.
+		framed, err = EncodeFrame("none", data, 1)
+		if err != nil {
+			return err
+		}
+		used = "none"
+	}
+	if used != "none" && len(framed) >= len(data) {
+		if framed, err = EncodeFrame("none", data, 1); err != nil {
+			return err
+		}
+		used = "none"
+	}
+	if err := c.Backend.Put(name, framed); err != nil {
+		return err
+	}
+	info := CodecInfo{
+		Codec:        used,
+		RawBytes:     int64(len(data)),
+		EncodedBytes: int64(len(framed) - frameHeaderLen(used)),
+	}
+	c.mu.Lock()
+	c.chargeEncode(defaultProfiles[used], float64(len(data)))
+	c.info[name] = info
+	c.objects++
+	c.rawBytes += info.RawBytes
+	c.encBytes += info.EncodedBytes
+	pc := c.perCodec[used]
+	pc.Objects++
+	pc.RawBytes += info.RawBytes
+	pc.EncodedBytes += info.EncodedBytes
+	c.perCodec[used] = pc
+	c.mu.Unlock()
+	return nil
+}
+
+// frameHeaderLen is the frame envelope size for a codec name.
+func frameHeaderLen(codec string) int {
+	return len(frameMagic) + 1 + len(codec) + 8
+}
+
+// Get implements ObjectReader: fetch from the inner backend and
+// transparently decode framed objects. Unframed objects (a store
+// written without compression) pass through byte-for-byte; inner
+// errors (ErrNotFound, ErrNoPayload) propagate unchanged.
+func (c *Compressing) Get(name string) ([]byte, error) {
+	obj, err := c.Backend.Get(name)
+	if err != nil {
+		return obj, err
+	}
+	if !IsFramed(obj) {
+		return obj, nil
+	}
+	raw, h, err := DecodeFrame(obj)
+	if err != nil {
+		return nil, fmt.Errorf("storage: object %q: %w", name, err)
+	}
+	c.mu.Lock()
+	c.chargeDecode(defaultProfiles[h.Codec], float64(len(raw)))
+	c.mu.Unlock()
+	return raw, nil
+}
+
+// ObjectCodec implements ObjectCodecInfoer.
+func (c *Compressing) ObjectCodec(name string) (CodecInfo, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	info, ok := c.info[name]
+	return info, ok
+}
+
+// desChoice resolves the single codec the DES face prices. A fixed
+// configuration uses that codec; adaptive mode picks the candidate
+// minimizing assumed-ratio×cost under the configured bandwidth — the
+// same objective as the real face, evaluated on the profile table
+// because no real bytes flow on this face.
+func (c *Compressing) desChoice() selected {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.des != nil {
+		return *c.des
+	}
+	sel := selected{codec: c.opts.Codec, elemSize: 8}
+	if c.opts.Codec == AdaptiveCodec {
+		sel.codec = "none"
+		best := c.score("none", 1<<20, 1<<20)
+		for _, cand := range c.opts.Candidates {
+			prof, ok := defaultProfiles[cand]
+			if !ok || cand == "none" {
+				continue
+			}
+			if s := c.score(cand, int((1<<20)/prof.AssumedRatio), 1<<20); s < best {
+				best = s
+				sel.codec = cand
+			}
+		}
+	}
+	c.des = &sel
+	return sel
+}
+
+// desEncode charges encode CPU for the DES face and returns the wait
+// time plus the shrunken transfer volume.
+func (c *Compressing) desEncode(bytes float64) (wait, encoded float64) {
+	sel := c.desChoice()
+	prof := defaultProfiles[sel.codec]
+	encoded = bytes / prof.AssumedRatio
+	c.mu.Lock()
+	wait = c.chargeEncode(prof, bytes)
+	c.bytesSaved += bytes - encoded
+	c.mu.Unlock()
+	return wait, encoded
+}
+
+// desDecode is desEncode's read mirror: the raw volume is reassembled
+// from encoded bytes read back, charging decode CPU.
+func (c *Compressing) desDecode(bytes float64) (wait, encoded float64) {
+	sel := c.desChoice()
+	prof := defaultProfiles[sel.codec]
+	encoded = bytes / prof.AssumedRatio
+	c.mu.Lock()
+	wait = c.chargeDecode(prof, bytes)
+	c.mu.Unlock()
+	return wait, encoded
+}
+
+// Write implements Backend: the dedicated core encodes (CPU time on
+// p), then only the encoded volume travels to the inner backend.
+func (c *Compressing) Write(p *des.Proc, target int, bytes float64, pat Pattern) {
+	wait, encoded := c.desEncode(bytes)
+	if wait > 0 {
+		p.Wait(wait)
+	}
+	c.Backend.Write(p, target, encoded, pat)
+}
+
+// WriteChunk implements Backend (one round of an open file).
+func (c *Compressing) WriteChunk(p *des.Proc, target int, bytes float64, pat Pattern) {
+	wait, encoded := c.desEncode(bytes)
+	if wait > 0 {
+		p.Wait(wait)
+	}
+	c.Backend.WriteChunk(p, target, encoded, pat)
+}
+
+// WriteAsync implements Backend. With an engine configured the codec
+// CPU is charged inside the async transfer (encode, then write);
+// without one the volume still shrinks but the CPU is not modeled.
+func (c *Compressing) WriteAsync(target int, bytes float64, pat Pattern) *des.Future {
+	wait, encoded := c.desEncode(bytes)
+	if wait <= 0 || c.opts.Engine == nil {
+		return c.Backend.WriteAsync(target, encoded, pat)
+	}
+	f := c.opts.Engine.NewFuture()
+	c.opts.Engine.Spawn("codec-encode", func(p *des.Proc) {
+		p.Wait(wait)
+		p.Await(c.Backend.WriteAsync(target, encoded, pat))
+		f.Complete()
+	})
+	return f
+}
+
+// Read implements Backend: only the encoded volume travels from the
+// inner backend, then the dedicated core decodes (CPU time on p).
+func (c *Compressing) Read(p *des.Proc, target int, bytes float64, pat Pattern) {
+	wait, encoded := c.desDecode(bytes)
+	c.Backend.Read(p, target, encoded, pat)
+	if wait > 0 {
+		p.Wait(wait)
+	}
+}
+
+// ReadAsync implements Backend; see WriteAsync for the engine note.
+func (c *Compressing) ReadAsync(target int, bytes float64, pat Pattern) *des.Future {
+	wait, encoded := c.desDecode(bytes)
+	if wait <= 0 || c.opts.Engine == nil {
+		return c.Backend.ReadAsync(target, encoded, pat)
+	}
+	f := c.opts.Engine.NewFuture()
+	c.opts.Engine.Spawn("codec-decode", func(p *des.Proc) {
+		p.Await(c.Backend.ReadAsync(target, encoded, pat))
+		p.Wait(wait)
+		f.Complete()
+	})
+	return f
+}
+
+// Accounting implements Backend: the inner ledger plus the
+// compression counters.
+func (c *Compressing) Accounting() Accounting {
+	acc := c.Backend.Accounting()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	acc.BytesSaved = c.bytesSaved
+	acc.EncodeTime = c.encodeTime
+	acc.DecodeTime = c.decodeTime
+	acc.ObjectsCompressed = c.objects
+	acc.ObjectRawBytes = c.rawBytes
+	acc.ObjectEncodedBytes = c.encBytes
+	if len(c.perCodec) > 0 {
+		acc.PerCodec = make(map[string]CodecCount, len(c.perCodec))
+		for k, v := range c.perCodec {
+			acc.PerCodec[k] = v
+		}
+	}
+	return acc
+}
+
+// ValidateCodecName checks a user-supplied codec option: a registered
+// codec name, AdaptiveCodec, or empty (meaning adaptive).
+func ValidateCodecName(name string) error {
+	if name == "" || name == AdaptiveCodec {
+		return nil
+	}
+	_, err := compress.ByName(name)
+	return err
+}

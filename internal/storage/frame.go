@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/compress"
+)
+
+// The compression frame is the self-describing envelope the pipeline
+// wraps every compressed object in before it reaches a backend:
+//
+//	offset 0  magic "DCF1" (4 bytes)
+//	offset 4  codec-name length (1 byte)
+//	offset 5  codec name (ASCII)
+//	       +  raw payload size, uint32 little-endian
+//	       +  element size, uint32 little-endian
+//	       +  encoded payload
+//
+// The header carries everything Decode needs — codec, expected raw
+// size, element structure — so a store can be read back by a process
+// that knows nothing about how it was written, and objects written
+// without compression (no magic) pass through untouched.
+
+// frameMagic marks (and versions) the compression frame envelope.
+var frameMagic = []byte("DCF1")
+
+// maxFrameExpansion bounds how much larger than its encoded payload a
+// frame may claim its raw payload is. The most aggressive registered
+// codec cannot legitimately exceed it (DEFLATE tops out near 1032:1,
+// byte RLE at 128:1, Gorilla at one control bit per 64-bit word), and
+// the bound keeps a corrupt header's raw-size field from driving a
+// giant allocation before the codec ever sees the payload.
+const maxFrameExpansion = 1040
+
+// frameSlack lets tiny payloads round-trip: expansion bounds only bite
+// past this many raw bytes.
+const frameSlack = 4096
+
+// maxFrameElemSize bounds the element width a frame may declare; the
+// encoder and the header parser enforce the same limit.
+const maxFrameElemSize = 64
+
+// ErrNotFramed is returned when an object does not start with the
+// compression-frame magic: it was stored without the compression
+// pipeline. Callers should test with errors.Is and fall back to using
+// the bytes as they are.
+var ErrNotFramed = errors.New("storage: object not compression-framed")
+
+// ErrCorruptFrame is returned for an object that carries the frame
+// magic but whose header or payload cannot be decoded: truncated
+// header fields, an implausible raw size, an unknown codec name (also
+// wrapping compress.ErrUnknownCodec), or a payload the named codec
+// rejects. Restore paths report it the same way they report missing
+// objects: the object is known but not recoverable.
+var ErrCorruptFrame = errors.New("storage: corrupt compression frame")
+
+// FrameHeader describes a framed object without decoding its payload.
+type FrameHeader struct {
+	// Codec is the registered codec name the payload was encoded with.
+	Codec string
+	// RawSize is the decoded payload length in bytes.
+	RawSize int
+	// ElemSize is the element width handed to element-structured codecs
+	// (1 for byte-oriented codecs).
+	ElemSize int
+	// EncodedSize is the encoded payload length in bytes (excluding the
+	// header itself).
+	EncodedSize int
+}
+
+// Ratio returns RawSize/EncodedSize, the paper's "600%" being 6.0.
+func (h FrameHeader) Ratio() float64 {
+	return compress.Ratio(h.RawSize, h.EncodedSize)
+}
+
+// IsFramed reports whether an object starts with the compression-frame
+// magic.
+func IsFramed(obj []byte) bool {
+	return len(obj) >= len(frameMagic) && string(obj[:len(frameMagic)]) == string(frameMagic)
+}
+
+// EncodeFrame compresses raw with the named codec and wraps the result
+// in a frame. elemSize is handed to element-structured codecs; it must
+// divide len(raw) when greater than one (a trailing partial element
+// would be silently dropped by Gorilla-style codecs, so it is rejected
+// here instead).
+func EncodeFrame(codecName string, raw []byte, elemSize int) ([]byte, error) {
+	if elemSize <= 0 {
+		elemSize = 1
+	}
+	if elemSize > maxFrameElemSize {
+		return nil, fmt.Errorf("storage: element size %d exceeds the frame limit of %d",
+			elemSize, maxFrameElemSize)
+	}
+	if int64(len(raw)) > math.MaxUint32 {
+		// The header's raw-size field is 32-bit; a silent wrap would
+		// store an object that can never decode.
+		return nil, fmt.Errorf("storage: %d-byte payload exceeds the 4 GiB frame limit", len(raw))
+	}
+	if elemSize > 1 && len(raw)%elemSize != 0 {
+		return nil, fmt.Errorf("storage: frame payload of %d bytes is not a multiple of element size %d",
+			len(raw), elemSize)
+	}
+	codec, err := compress.ByName(codecName)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := codec.Encode(raw, elemSize)
+	if err != nil {
+		return nil, err
+	}
+	name := codec.Name()
+	if len(name) > 255 {
+		return nil, fmt.Errorf("storage: codec name %q too long to frame", name)
+	}
+	out := make([]byte, 0, len(frameMagic)+1+len(name)+8+len(enc))
+	out = append(out, frameMagic...)
+	out = append(out, byte(len(name)))
+	out = append(out, name...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(raw)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(elemSize))
+	return append(out, enc...), nil
+}
+
+// ParseFrameHeader splits a framed object into its header and encoded
+// payload without decoding. It returns ErrNotFramed for objects
+// without the magic and ErrCorruptFrame for damaged headers; the codec
+// name is validated against the registry, so garbage names surface as
+// ErrCorruptFrame wrapping compress.ErrUnknownCodec.
+func ParseFrameHeader(obj []byte) (FrameHeader, []byte, error) {
+	if !IsFramed(obj) {
+		return FrameHeader{}, nil, fmt.Errorf("%w (%d bytes)", ErrNotFramed, len(obj))
+	}
+	rest := obj[len(frameMagic):]
+	if len(rest) < 1 {
+		return FrameHeader{}, nil, fmt.Errorf("%w: truncated before codec name", ErrCorruptFrame)
+	}
+	nameLen := int(rest[0])
+	rest = rest[1:]
+	if len(rest) < nameLen+8 {
+		return FrameHeader{}, nil, fmt.Errorf("%w: truncated header", ErrCorruptFrame)
+	}
+	h := FrameHeader{Codec: string(rest[:nameLen])}
+	if _, err := compress.ByName(h.Codec); err != nil {
+		return FrameHeader{}, nil, fmt.Errorf("%w: %w", ErrCorruptFrame, err)
+	}
+	rest = rest[nameLen:]
+	h.RawSize = int(binary.LittleEndian.Uint32(rest))
+	h.ElemSize = int(binary.LittleEndian.Uint32(rest[4:]))
+	enc := rest[8:]
+	h.EncodedSize = len(enc)
+	if h.ElemSize <= 0 || h.ElemSize > maxFrameElemSize {
+		return FrameHeader{}, nil, fmt.Errorf("%w: element size %d", ErrCorruptFrame, h.ElemSize)
+	}
+	if h.ElemSize > 1 && h.RawSize%h.ElemSize != 0 {
+		return FrameHeader{}, nil, fmt.Errorf("%w: raw size %d not a multiple of element size %d",
+			ErrCorruptFrame, h.RawSize, h.ElemSize)
+	}
+	if h.RawSize > frameSlack && h.RawSize > maxFrameExpansion*h.EncodedSize {
+		return FrameHeader{}, nil, fmt.Errorf("%w: implausible raw size %d for %d encoded bytes",
+			ErrCorruptFrame, h.RawSize, h.EncodedSize)
+	}
+	return h, enc, nil
+}
+
+// DecodeFrame parses and decodes a framed object back to its raw
+// payload. Objects without the magic return ErrNotFramed; anything the
+// header parser or codec rejects returns ErrCorruptFrame.
+func DecodeFrame(obj []byte) ([]byte, FrameHeader, error) {
+	h, enc, err := ParseFrameHeader(obj)
+	if err != nil {
+		return nil, FrameHeader{}, err
+	}
+	codec, err := compress.ByName(h.Codec)
+	if err != nil {
+		// Unreachable after ParseFrameHeader, kept for defense in depth.
+		return nil, h, fmt.Errorf("%w: %w", ErrCorruptFrame, err)
+	}
+	raw, err := codec.Decode(enc, h.RawSize, h.ElemSize)
+	if err != nil {
+		return nil, h, fmt.Errorf("%w: %s payload: %v", ErrCorruptFrame, h.Codec, err)
+	}
+	if len(raw) != h.RawSize {
+		return nil, h, fmt.Errorf("%w: %s decoded %d bytes, header says %d",
+			ErrCorruptFrame, h.Codec, len(raw), h.RawSize)
+	}
+	return raw, h, nil
+}

@@ -1,0 +1,176 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+)
+
+// framePayload builds a deterministic payload of n bytes whose length
+// is a multiple of every element size under test and whose content is
+// structured enough that every codec exercises its real encode path.
+func framePayload(n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i+8 <= n; i += 8 {
+		v := 100.0 + math.Sin(float64(i)/64.0)
+		binary.LittleEndian.PutUint64(out[i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// TestFrameRoundTrip: every codec × element size × payload shape must
+// survive encode-frame-decode byte-for-byte, and the parsed header
+// must describe the object truthfully.
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := map[string][]byte{
+		"empty":   {},
+		"small":   framePayload(64),
+		"typical": framePayload(64 << 10),
+		"runs":    bytes.Repeat([]byte{0, 0, 0, 7}, 4096),
+	}
+	for _, codec := range compress.Names() {
+		for _, elem := range []int{1, 4, 8} {
+			if codec == "delta" && elem != 8 {
+				continue // delta is 8-byte only
+			}
+			if codec == "gorilla" && elem == 1 {
+				continue // gorilla is 4/8-byte only
+			}
+			for label, raw := range payloads {
+				obj, err := EncodeFrame(codec, raw, elem)
+				if err != nil {
+					t.Fatalf("%s/%d/%s: EncodeFrame: %v", codec, elem, label, err)
+				}
+				if !IsFramed(obj) {
+					t.Fatalf("%s/%d/%s: encoded object not recognized as framed", codec, elem, label)
+				}
+				h, enc, err := ParseFrameHeader(obj)
+				if err != nil {
+					t.Fatalf("%s/%d/%s: ParseFrameHeader: %v", codec, elem, label, err)
+				}
+				if h.Codec != codec || h.RawSize != len(raw) || h.ElemSize != elem ||
+					h.EncodedSize != len(enc) {
+					t.Fatalf("%s/%d/%s: header %+v does not describe %d raw bytes", codec, elem, label, h, len(raw))
+				}
+				got, h2, err := DecodeFrame(obj)
+				if err != nil {
+					t.Fatalf("%s/%d/%s: DecodeFrame: %v", codec, elem, label, err)
+				}
+				if !bytes.Equal(got, raw) {
+					t.Fatalf("%s/%d/%s: round trip differs (%d vs %d bytes)", codec, elem, label, len(got), len(raw))
+				}
+				if h2 != h {
+					t.Fatalf("%s/%d/%s: DecodeFrame header %+v != ParseFrameHeader %+v", codec, elem, label, h2, h)
+				}
+			}
+		}
+	}
+}
+
+// TestFrameRejectsUnalignedElements: a payload that is not a multiple
+// of the element size must be rejected at encode time — a Gorilla
+// frame would silently drop the trailing partial element otherwise.
+func TestFrameRejectsUnalignedElements(t *testing.T) {
+	if _, err := EncodeFrame("gorilla", make([]byte, 17), 8); err == nil {
+		t.Fatal("17 bytes with 8-byte elements must not frame")
+	}
+	if _, err := EncodeFrame("none", make([]byte, 17), 1); err != nil {
+		t.Fatalf("byte-element frame rejected: %v", err)
+	}
+}
+
+// TestFrameUnknownCodec: both the encoder and the header parser must
+// reject unknown codec names with the shared sentinel, so a corrupt
+// store reports the same way everywhere.
+func TestFrameUnknownCodec(t *testing.T) {
+	if _, err := EncodeFrame("bogus", []byte("x"), 1); !errors.Is(err, compress.ErrUnknownCodec) {
+		t.Fatalf("EncodeFrame(bogus) = %v, want ErrUnknownCodec", err)
+	}
+	// Hand-build a frame whose header names a codec that does not exist.
+	obj := append([]byte{}, frameMagic...)
+	obj = append(obj, 5)
+	obj = append(obj, "bogus"...)
+	obj = binary.LittleEndian.AppendUint32(obj, 1)
+	obj = binary.LittleEndian.AppendUint32(obj, 1)
+	obj = append(obj, 'x')
+	if _, _, err := ParseFrameHeader(obj); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("bogus codec name: %v, want ErrCorruptFrame", err)
+	}
+	if _, _, err := ParseFrameHeader(obj); !errors.Is(err, compress.ErrUnknownCodec) {
+		t.Fatalf("bogus codec name: %v, want wrapped ErrUnknownCodec", err)
+	}
+}
+
+// TestFrameNotFramed: plain objects must be reported as unframed, not
+// corrupt.
+func TestFrameNotFramed(t *testing.T) {
+	for _, obj := range [][]byte{nil, {}, []byte("x"), []byte("DMB1 something else")} {
+		if IsFramed(obj) {
+			t.Fatalf("%q reported framed", obj)
+		}
+		if _, _, err := ParseFrameHeader(obj); !errors.Is(err, ErrNotFramed) {
+			t.Fatalf("%q: %v, want ErrNotFramed", obj, err)
+		}
+		if _, _, err := DecodeFrame(obj); !errors.Is(err, ErrNotFramed) {
+			t.Fatalf("%q: DecodeFrame %v, want ErrNotFramed", obj, err)
+		}
+	}
+}
+
+// TestFrameTruncationAndCorruption: every strict prefix of a valid
+// frame, and every single-byte corruption of its header, must come
+// back as a clean error — never a panic, never silent success with
+// wrong bytes.
+func TestFrameTruncationAndCorruption(t *testing.T) {
+	raw := framePayload(4096)
+	for _, codec := range compress.Names() {
+		obj, err := EncodeFrame(codec, raw, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(obj); cut++ {
+			trunc := obj[:cut]
+			if got, _, err := DecodeFrame(trunc); err == nil && !bytes.Equal(got, raw) {
+				t.Fatalf("%s: truncation at %d decoded silently to wrong bytes", codec, cut)
+			}
+		}
+		// Flip each header byte (the payload region is the codec's own
+		// robustness problem, covered by the fuzz targets).
+		hdrLen := len(frameMagic) + 1 + len(codec) + 8
+		for i := len(frameMagic); i < hdrLen; i++ {
+			mut := append([]byte(nil), obj...)
+			mut[i] ^= 0xff
+			got, _, err := DecodeFrame(mut)
+			if err == nil && !bytes.Equal(got, raw) {
+				t.Fatalf("%s: header corruption at %d decoded silently to wrong bytes", codec, i)
+			}
+		}
+	}
+}
+
+// TestFrameImplausibleRawSize: a header claiming a raw size far beyond
+// what any registered codec can expand to must be rejected before
+// allocation.
+func TestFrameImplausibleRawSize(t *testing.T) {
+	obj := append([]byte{}, frameMagic...)
+	obj = append(obj, 4)
+	obj = append(obj, "none"...)
+	obj = binary.LittleEndian.AppendUint32(obj, math.MaxUint32)
+	obj = binary.LittleEndian.AppendUint32(obj, 1)
+	obj = append(obj, 1, 2, 3)
+	if _, _, err := ParseFrameHeader(obj); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("4 GiB raw from 3 encoded bytes: %v, want ErrCorruptFrame", err)
+	}
+}
+
+// TestFrameHeaderRatio spot-checks the reporting helper.
+func TestFrameHeaderRatio(t *testing.T) {
+	h := FrameHeader{RawSize: 600, EncodedSize: 100}
+	if h.Ratio() != 6 {
+		t.Fatalf("Ratio = %v, want 6", h.Ratio())
+	}
+}

@@ -1,0 +1,48 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameDecode feeds arbitrary bytes to the frame decoder: it must
+// never panic or over-allocate, and anything it accepts must
+// re-encode with the parsed header's codec and decode back to the
+// same raw payload — the same contract the batch-codec fuzz target
+// holds in internal/cluster.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte("not a frame"))
+	f.Add([]byte("DCF1"))
+	seed := func(codec string, raw []byte, elem int) {
+		obj, err := EncodeFrame(codec, raw, elem)
+		if err == nil {
+			f.Add(obj)
+			f.Add(obj[:len(obj)-1])
+		}
+	}
+	seed("none", []byte("plain payload"), 1)
+	seed("rle", bytes.Repeat([]byte{0, 0, 9}, 100), 1)
+	seed("gorilla", make([]byte, 256), 8)
+	seed("delta", make([]byte, 256), 8)
+	seed("flate", bytes.Repeat([]byte("abc"), 50), 1)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		raw, h, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if len(raw) != h.RawSize {
+			t.Fatalf("decoded %d bytes, header claims %d", len(raw), h.RawSize)
+		}
+		re, err := EncodeFrame(h.Codec, raw, h.ElemSize)
+		if err != nil {
+			t.Fatalf("re-encoding an accepted frame failed: %v", err)
+		}
+		raw2, h2, err := DecodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if h2.Codec != h.Codec || !bytes.Equal(raw2, raw) {
+			t.Fatalf("round trip not stable: %+v vs %+v", h, h2)
+		}
+	})
+}

@@ -88,6 +88,26 @@ type Accounting struct {
 	// payload).
 	ObjectsRead     int
 	ObjectReadBytes int64
+
+	// Compression-pipeline counters, populated only when the backend is
+	// wrapped in Compressing (zero otherwise).
+
+	// BytesSaved is the simulated payload kept off the NIC/PFS transfer
+	// by encoding on the DES face (raw minus encoded volume).
+	BytesSaved float64
+	// EncodeTime and DecodeTime are the codec CPU seconds charged on
+	// the dedicated cores — the §IV.D spare time spent to earn
+	// BytesSaved (both faces contribute; trial encodes count too).
+	EncodeTime float64
+	DecodeTime float64
+	// ObjectsCompressed counts real objects stored framed, with their
+	// payload volume before and after encoding.
+	ObjectsCompressed  int
+	ObjectRawBytes     int64
+	ObjectEncodedBytes int64
+	// PerCodec splits the object counters by chosen codec (nil when no
+	// framed object was stored).
+	PerCodec map[string]CodecCount
 }
 
 // ObjectStore is the real-data write face of a backend: store a named

@@ -3,6 +3,7 @@ package storage
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -141,7 +142,7 @@ func TestMemoryDeterminism(t *testing.T) {
 	}
 	t1, a1 := run()
 	t2, a2 := run()
-	if t1 != t2 || a1 != a2 {
+	if t1 != t2 || !reflect.DeepEqual(a1, a2) {
 		t.Fatalf("memory backend not deterministic: %v/%v vs %v/%v", t1, a1, t2, a2)
 	}
 }
