@@ -9,7 +9,16 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test vet fmt fmt-check bench failure-race failure-smoke restart-smoke c1-smoke fuzz-smoke lint docs-check ci
+# Coverage floor for the scheduling/storage/cluster core (percent).
+# go test -cover must not report a combined total below this.
+COVER_FLOOR ?= 60
+
+# Label baked into the bench-json artifact (CI passes the commit sha).
+BENCH_LABEL ?= local
+
+.PHONY: build test vet fmt fmt-check bench bench-json cover-check tidy-check \
+	failure-race failure-smoke restart-smoke c1-smoke fuzz-smoke lint docs-check \
+	smoke-e1 smoke-e6 smoke-e6-cross smoke-f1 smoke-r1 smoke-c1 ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +30,26 @@ test:
 # covered by `test`, kept separate so CI reports them distinctly).
 failure-race:
 	$(GO) test -race -run 'Failure|Reroute|Partial|Tree' ./internal/cluster ./internal/iostrat
+
+# Experiment smoke matrix — one target per experiment so a broken
+# experiment names itself in the CI job list (ci.yml fans these out via
+# strategy.matrix).
+smoke-e1:
+	$(GO) run ./cmd/damaris-bench -quick -exp e1
+
+smoke-e6:
+	$(GO) run ./cmd/damaris-bench -quick -exp e6
+
+# The cross-root E6 mode: -sched cluster-token restricts E6 to the
+# cluster-wide token sweep (DES + runtime faces).
+smoke-e6-cross:
+	$(GO) run ./cmd/damaris-bench -quick -exp e6 -sched cluster-token
+
+smoke-f1: failure-smoke
+
+smoke-r1: restart-smoke
+
+smoke-c1: c1-smoke
 
 # F1 failure-injection experiment at smoke scale: small node count,
 # fixed seed, both the DES and the runtime cluster sweeps.
@@ -74,4 +103,34 @@ fmt-check:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build vet fmt-check docs-check test failure-race bench failure-smoke restart-smoke c1-smoke fuzz-smoke
+# bench-json runs the benchmarks and archives them as a machine-readable
+# BENCH_<label>.json under out/bench/, so the perf trajectory accumulates
+# run over run (CI uploads the file as an artifact). Two steps, not a
+# pipe: a failing benchmark run must fail the target, not hand benchjson
+# a truncated stream it would happily parse.
+bench-json:
+	@mkdir -p out/bench
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > out/bench/bench.txt
+	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) \
+		-out out/bench/BENCH_$(BENCH_LABEL).json < out/bench/bench.txt
+
+# cover-check enforces the checked-in coverage floor over the scheduling
+# core: internal/iostrat + internal/storage + internal/cluster combined.
+cover-check:
+	@mkdir -p out
+	$(GO) test -coverprofile=out/cover.out ./internal/iostrat ./internal/storage ./internal/cluster
+	@$(GO) tool cover -func=out/cover.out | awk '/^total:/ { \
+		sub("%","",$$3); \
+		if ($$3+0 < $(COVER_FLOOR)) { \
+			printf "coverage %.1f%% below the %d%% floor\n", $$3, $(COVER_FLOOR); exit 1 \
+		} else { \
+			printf "coverage %.1f%% (floor %d%%)\n", $$3, $(COVER_FLOOR) \
+		} }'
+
+# tidy-check fails when go.mod/go.sum drift from what go mod tidy would
+# write.
+tidy-check:
+	$(GO) mod tidy -diff
+
+ci: build vet fmt-check tidy-check docs-check test failure-race cover-check bench \
+	smoke-e1 smoke-e6 smoke-e6-cross smoke-f1 smoke-r1 smoke-c1 fuzz-smoke

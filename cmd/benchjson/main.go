@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so CI can archive one BENCH_*.json artifact per run and the
+// performance trajectory of the repository accumulates in a
+// machine-readable form.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson -out out/bench/BENCH_abc123.json
+//
+// Lines it understands:
+//
+//	goos: linux                      → top-level metadata
+//	goarch: amd64
+//	pkg: repro/internal/cluster      → attached to following benchmarks
+//	BenchmarkFoo-8  4  123 ns/op  7 B/op  1 allocs/op
+//
+// Everything else (PASS, ok, test logs) is ignored. Exit status is
+// non-zero when no benchmark line was seen — an empty artifact would
+// silently end the perf history.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document is the artifact's JSON shape.
+type Document struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Label      string      `json:"label,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	label := flag.String("label", "", "free-form label recorded in the document (e.g. a commit hash)")
+	flag.Parse()
+
+	doc := Document{Label: *label}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(pkg, line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmark(s) to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parseBenchLine parses "BenchmarkName-8 4 123 ns/op 7 B/op ...":
+// name, iteration count, then value/unit pairs.
+func parseBenchLine(pkg, line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Pkg:        pkg,
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}

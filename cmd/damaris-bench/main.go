@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/iostrat"
 	"repro/internal/storage"
 	"repro/internal/topology"
 )
@@ -62,6 +63,7 @@ func main() {
 		failNodes   = flag.String("fail-nodes", "", "comma-separated node ids to kill in tree-mode runs")
 		failAt      = flag.Int("fail-at", 0, "iteration at which -fail-nodes die")
 		codec       = flag.String("codec", "", "storage compression pipeline: none, rle, delta, gorilla, flate, or adaptive")
+		sched       = flag.String("sched", "", "dedicated-core write scheduling: none, ost-token, global-token, or cluster-token (E6: cluster-token restricts to the cross-root sweep)")
 		restartFrom = flag.String("restart-from", "", "restore a stored run from an sdf object-store directory, report what is recoverable, and exit")
 	)
 	flag.Parse()
@@ -93,6 +95,13 @@ func main() {
 			os.Exit(2)
 		}
 		opts.Codec = *codec
+	}
+	if *sched != "" {
+		if err := iostrat.ValidateScheduling(iostrat.Scheduling(*sched)); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -sched: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Scheduling = iostrat.Scheduling(*sched)
 	}
 	if *failNodes != "" {
 		for _, part := range strings.Split(*failNodes, ",") {

@@ -54,6 +54,18 @@ type Config struct {
 	Roots int
 	// Store receives the root objects; any storage.Backend works.
 	Store storage.ObjectStore
+	// Broker, when non-nil, arbitrates root object writes across every
+	// aggregation tree of the run: a root acquires a write token for
+	// its storage target before each Put and releases it after, so
+	// roots on different trees do not hit the same target at once.
+	// One broker serves the whole run — cluster-wide scheduling, the
+	// runtime face of iostrat.SchedClusterToken. A node killed by the
+	// failure schedule has its tokens freed and queued requests
+	// canceled (see killNode).
+	Broker storage.TokenBroker
+	// BrokerStripes is how many broker targets each root's write
+	// claims (default 1): the runtime mirror of the DES stripe window.
+	BrokerStripes int
 	// DisableManifests turns off the per-iteration manifest objects
 	// roots write alongside their data objects. Manifests are what
 	// Restore navigates by, so disable them only for runs that will
@@ -111,6 +123,22 @@ type Stats struct {
 	// whose blocks reached a stored root object for that iteration
 	// (1.0 for every iteration when nothing fails or straggles).
 	Completeness map[int]float64
+
+	// Token-broker counters, populated only when Config.Broker is set.
+
+	// TokenWaitTime is the total wall-clock seconds roots spent waiting
+	// for a write token; TokenGrants counts tokens granted.
+	TokenWaitTime float64
+	TokenGrants   int
+	// RootTokenWait splits TokenWaitTime per root node id, and
+	// RootContention counts each root's grants that had to queue behind
+	// another tree's root — the cross-root interference the broker
+	// absorbed.
+	RootTokenWait  map[int]float64
+	RootContention map[int]int
+	// TokensReclaimed counts tokens (held or queued) freed because
+	// their holder was killed by the failure schedule.
+	TokensReclaimed int
 }
 
 // Cluster is a multi-node Damaris deployment: N per-node middleware
@@ -249,13 +277,40 @@ func (c *Cluster) Client(node, source int) *core.Client {
 // Stats returns a snapshot of the cluster counters.
 func (c *Cluster) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := c.stats
 	s.Completeness = make(map[int]float64, len(c.covered))
 	for it, n := range c.covered {
 		s.Completeness[it] = float64(n) / float64(len(c.nodes))
 	}
+	c.mu.Unlock()
+	if c.cfg.Broker != nil {
+		bs := c.cfg.Broker.Stats()
+		s.TokenWaitTime = bs.WaitTime
+		s.TokenGrants = bs.Grants
+		s.RootTokenWait = bs.WaitByHolder
+		s.RootContention = bs.ContendedByHolder
+		s.TokensReclaimed = bs.HolderReleases + bs.CanceledRequests
+	}
 	return s
+}
+
+// rootTargets maps a root to its broker target window: one
+// BrokerStripes-wide window per aggregation tree, indexed by the
+// subtree the root leads — a promoted root inherits the dead root's
+// window, mirroring the DES side's rootOrdinal inheritance.
+func (c *Cluster) rootTargets(node int) []int {
+	stripes := c.cfg.BrokerStripes
+	if stripes < 1 {
+		stripes = 1
+	}
+	c.mu.Lock()
+	idx := c.tree.SubtreeIndex(node)
+	c.mu.Unlock()
+	targets := make([]int, stripes)
+	for i := range targets {
+		targets[i] = idx*stripes + i
+	}
+	return targets
 }
 
 // Errors returns the aggregation/store/hook errors collected so far.
@@ -325,6 +380,11 @@ func (c *Cluster) killNode(d, blocksDropped int) {
 	c.failEpoch++
 	c.stats.NodesFailed++
 	c.stats.ReroutedEdges += len(edges)
+	if c.cfg.Broker != nil {
+		// A dead root must not strand a write token for the rest of the
+		// run: free what it holds, cancel what it queued for.
+		c.cfg.Broker.ReleaseHolder(d)
+	}
 	c.postTo(d, aggMsg{die: true})
 	for i, a := range c.aggs {
 		if i != d && !c.exited[i] {
@@ -649,6 +709,26 @@ func (a *aggregator) emit(b *Batch, covered map[int]bool, partial bool) {
 	}
 	a.stored[b.Iteration] = true
 	c.mu.Unlock()
+
+	// Cluster-wide write scheduling: claim this root's target window
+	// before touching the store, earliest iteration first, so roots of
+	// different trees never hit the same target at once.
+	if c.cfg.Broker != nil {
+		grant := c.cfg.Broker.Acquire(storage.TokenRequest{
+			Holder:   a.node,
+			Targets:  c.rootTargets(a.node),
+			Deadline: float64(b.Iteration),
+			Bytes:    float64(b.Bytes()),
+		})
+		if grant.Denied {
+			// Killed while queued for the token: the write never starts;
+			// the batch drains toward the re-route target instead.
+			delete(a.stored, b.Iteration)
+			a.drainUp(b, covers)
+			return
+		}
+		defer grant.Release()
+	}
 
 	// Root: normalize so hooks and the stored object agree on block
 	// order, run the cluster-wide hooks on the merged subtree, then the

@@ -127,6 +127,15 @@ func (t Tree) Roots() []int {
 	return roots
 }
 
+// SubtreeIndex returns the ordinal of the base subtree containing node
+// i — stable across failures (the overlay moves edges, not the
+// partition), so per-tree resource windows (broker targets, stripe
+// layouts) survive root promotion.
+func (t Tree) SubtreeIndex(i int) int {
+	t.check(i)
+	return sort.SearchInts(t.starts, i+1) - 1
+}
+
 // subtree returns the start and size of the base subtree containing
 // node i.
 func (t Tree) subtree(i int) (start, size int) {

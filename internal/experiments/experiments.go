@@ -53,6 +53,12 @@ type Options struct {
 	// the R1/C1 runtime stores, "adaptive" selects per dataset, ""
 	// disables it. C1 sweeps its own codecs regardless of this.
 	Codec string
+	// Scheduling coordinates dedicated-core writes in every Damaris run
+	// (the -sched bench flag): "", "none", "ost-token", "global-token"
+	// or "cluster-token". E6 sweeps its own policies regardless; set to
+	// cluster-token it restricts E6 to the cross-root sweep (the CI
+	// matrix's cross-root mode).
+	Scheduling iostrat.Scheduling
 }
 
 // Default returns the paper-scale options: the Kraken sweep up to 9216
@@ -119,6 +125,7 @@ func (o Options) strategyConfig(cores int) iostrat.Config {
 		BackendDir: o.BackendDir,
 		Fanout:     o.Fanout,
 		Codec:      o.Codec,
+		Scheduling: o.Scheduling,
 	}
 	if len(o.FailNodes) > 0 {
 		sched := cluster.NewFailureSchedule()

@@ -174,12 +174,52 @@ func TestE5Quick(t *testing.T) {
 }
 
 func TestE6QuickGain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the runtime face paces real writes")
+	}
 	rep, err := RunE6(quick())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Tables) != 1 || rep.Tables[0].NumRows() != 3 {
-		t.Fatalf("E6 table shape")
+	// Classic policy sweep, cross-root DES sweep, runtime comparison.
+	if len(rep.Tables) != 3 {
+		t.Fatalf("E6 tables = %d, want 3", len(rep.Tables))
+	}
+	if rep.Tables[0].NumRows() != 3 {
+		t.Fatalf("classic table rows = %d", rep.Tables[0].NumRows())
+	}
+	if rep.Tables[1].NumRows() != 12 { // 2 root counts × 2 layouts × 3 policies
+		t.Fatalf("cross-root table rows = %d", rep.Tables[1].NumRows())
+	}
+	// The DES cross-root claims are deterministic and must hold at quick
+	// scale (wall-clock-based runtime checks are asserted loosely by the
+	// experiment itself).
+	for _, c := range rep.Checks {
+		if strings.HasPrefix(c.Name, "DES cross-root") && !c.Pass() {
+			t.Errorf("E6 check failed at quick scale: %s", c)
+		}
+	}
+}
+
+// The cross-only mode (the CI matrix's e6-cross entry) must skip the
+// classic sweep and still pass its checks.
+func TestE6CrossOnlyMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the runtime face paces real writes")
+	}
+	o := quick()
+	o.Scheduling = iostrat.SchedClusterToken
+	rep, err := RunE6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("cross-only tables = %d, want 2", len(rep.Tables))
+	}
+	for _, c := range rep.Checks {
+		if strings.HasPrefix(c.Name, "DES") && !c.Pass() {
+			t.Errorf("cross-only check failed: %s", c)
+		}
 	}
 }
 

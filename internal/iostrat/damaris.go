@@ -187,6 +187,9 @@ func sortedIntKeys[V any](m map[int]V) []int {
 // and only tree roots touch the backend — few, large, striped
 // sequential streams.
 func runDamaris(cfg Config) (Result, error) {
+	if err := ValidateScheduling(cfg.Scheduling); err != nil {
+		return Result{}, err
+	}
 	eng := des.NewEngine()
 	root := rng.New(cfg.Seed, 3)
 	be, err := cfg.newBackend(eng, root.Named("pfs"))
@@ -241,15 +244,9 @@ func runDamaris(cfg Config) (Result, error) {
 		arrived[n] = make([]int, w.Iterations)
 	}
 
-	var schedule writeScheduler
-	switch cfg.Scheduling {
-	case SchedOSTToken:
-		schedule = newOSTTokens(eng, be.Targets())
-	case SchedGlobalToken:
-		schedule = newGlobalTokens(eng, be.Targets())
-	default:
-		schedule = nopScheduler{}
-	}
+	// One broker per run, shared by every dedicated core and tree root:
+	// the schedule is cluster-wide, not per backend stream.
+	schedule := newScheduler(eng, cfg.Scheduling, be.Targets())
 
 	// Simulation cores.
 	var appEnd float64
@@ -297,12 +294,27 @@ func runDamaris(cfg Config) (Result, error) {
 
 	// Dedicated cores (one writer proc per node; D dedicated cores share
 	// the same work, so busy time is attributed to the node's pool).
+	var tr *treeRun
+	if treeMode {
+		tr = &treeRun{
+			cfg:         cfg,
+			be:          be,
+			schedule:    schedule,
+			res:         &res,
+			tree:        &tree,
+			aggs:        aggs,
+			rootOrdinal: rootOrdinal,
+			rootCovered: rootCovered,
+			writeEnd:    make([]float64, w.Iterations),
+			phaseStart:  phaseStart,
+			computeTime: computeTime,
+		}
+	}
 	for n := 0; n < plat.Nodes; n++ {
 		node := n
 		if treeMode {
 			eng.Spawn("dedicated", func(p *des.Proc) {
-				runTreeNode(p, cfg, be, schedule, &res, &tree, aggs, rootOrdinal,
-					rootCovered, shms[node], node)
+				tr.runNode(p, shms[node], node)
 			})
 			continue
 		}
@@ -333,7 +345,13 @@ func runDamaris(cfg Config) (Result, error) {
 					// spread node files round-robin over the OSTs.
 					ost := (node + fileSeq*plat.Nodes) % be.Targets()
 					fileSeq++
-					release := schedule.acquire(p, ost)
+					release := schedule.acquire(p, writeReq{
+						holder:   node,
+						base:     ost,
+						stripes:  1,
+						deadline: phaseStart[item.iter] + computeTime,
+						bytes:    per,
+					})
 					be.Create(p)
 					be.Write(p, ost, per, pat)
 					be.Close(p)
@@ -350,18 +368,26 @@ func runDamaris(cfg Config) (Result, error) {
 	res.TotalTime = appEnd
 	res.DrainTime = drainEnd
 	acc := be.Accounting()
+	bs := schedule.brokerStats()
+	acc.AddBroker(bs)
 	res.BytesWritten = acc.BytesWritten
 	res.IOWindow = acc.IOBusyTime
 	res.BytesSaved = acc.BytesSaved
 	res.CodecCPUTime = acc.EncodeTime + acc.DecodeTime
+	res.SchedWaitTime = acc.TokenWaitTime
+	res.RootContention = bs.ContendedGrants
 	res.DedicatedTotal = float64(plat.Nodes*dedicated) * drainEnd
 	for _, s := range shms {
 		res.SkippedIters += s.skipped
 	}
 	if treeMode {
 		res.Completeness = make([]float64, w.Iterations)
+		res.TreeWriteLatencies = make([]float64, w.Iterations)
 		for it := 0; it < w.Iterations; it++ {
 			res.Completeness[it] = float64(rootCovered[it]) / float64(plat.Nodes)
+			if tr.writeEnd[it] > phaseStart[it] {
+				res.TreeWriteLatencies[it] = tr.writeEnd[it] - phaseStart[it]
+			}
 		}
 		// Aggregations nobody consumed (their consumer died or moved on
 		// when the coverage requirement shrank) are lost payload, as is
@@ -378,17 +404,39 @@ func runDamaris(cfg Config) (Result, error) {
 	return res, nil
 }
 
-// runTreeNode is one dedicated core's life in tree mode: per iteration,
+// treeRun bundles the state shared by every dedicated core of a
+// tree-mode run: the forest, the per-node aggregators, the shared write
+// scheduler and the per-iteration measurements.
+type treeRun struct {
+	cfg         Config
+	be          storage.Backend
+	schedule    writeScheduler
+	res         *Result
+	tree        *cluster.Tree
+	aggs        []*desAgg
+	rootOrdinal map[int]int
+	rootCovered []int
+	writeEnd    []float64 // per iteration, last root-write completion
+	phaseStart  []float64
+	computeTime float64
+}
+
+// deadline is when iteration it's spare window closes: the next output
+// phase starts roughly one compute phase after this one began, and the
+// cluster schedule wants the write done by then (§IV.C).
+func (tr *treeRun) deadline(it int) float64 {
+	return tr.phaseStart[it] + tr.computeTime
+}
+
+// runNode is one dedicated core's life in tree mode: per iteration,
 // merge the node's own output with the children's subtree volumes, then
 // either forward upward over the NIC or — at a root — stripe the merged
 // payload onto the backend as few large sequential streams. The parent
 // and the coverage requirement are re-read every iteration, because a
 // failure elsewhere can re-route this node or promote it to root
 // mid-run; a node's own scheduled death ends its loop.
-func runTreeNode(p *des.Proc, cfg Config, be storage.Backend, schedule writeScheduler,
-	res *Result, tree *cluster.Tree, aggs []*desAgg, rootOrdinal map[int]int,
-	rootCovered []int, shm *nodeShm, node int) {
-
+func (tr *treeRun) runNode(p *des.Proc, shm *nodeShm, node int) {
+	cfg, be, res, tree := tr.cfg, tr.be, tr.res, tr.tree
 	plat := cfg.Platform
 	numRoots := len(tree.Roots())
 	stripes := rootStripes(cfg, be.Targets(), numRoots)
@@ -413,7 +461,7 @@ func runTreeNode(p *des.Proc, cfg Config, be storage.Backend, schedule writeSche
 			return
 		}
 		if willFail && item.iter >= failAt {
-			failTreeNode(res, tree, aggs, rootOrdinal, shm, node, item)
+			tr.failNode(shm, node, item)
 			return
 		}
 		busy := 0.0
@@ -426,7 +474,7 @@ func runTreeNode(p *des.Proc, cfg Config, be storage.Backend, schedule writeSche
 		busy += p.Now() - t0
 
 		// Awaiting stragglers is idle time, not work.
-		childBytes, covers := aggs[node].await(p, item.iter, required)
+		childBytes, covers := tr.aggs[node].await(p, item.iter, required)
 		subtree := own + childBytes
 		covers = append(covers, node)
 
@@ -439,18 +487,24 @@ func runTreeNode(p *des.Proc, cfg Config, be storage.Backend, schedule writeSche
 			}
 			// The parent may have died during the transfer: relay along
 			// the drain chain, like the runtime cluster's dead relays.
-			deliverUp(tree, aggs, res, parent, item.iter, subtree, covers)
+			deliverUp(tree, tr.aggs, res, parent, item.iter, subtree, covers)
 		} else {
-			rootCovered[item.iter] += len(covers)
+			tr.rootCovered[item.iter] += len(covers)
 			if subtree > 0 {
 				files := cfg.FilesPerIter
 				per := subtree / float64(files)
 				for f := 0; f < files; f++ {
 					// Spread root files over the target array, stripes-wide
 					// windows per file so roots do not collide.
-					base := ((rootOrdinal[node] + fileSeq*numRoots) * stripes) % be.Targets()
+					base := ((tr.rootOrdinal[node] + fileSeq*numRoots) * stripes) % be.Targets()
 					fileSeq++
-					release := schedule.acquire(p, base)
+					release := tr.schedule.acquire(p, writeReq{
+						holder:   node,
+						base:     base,
+						stripes:  stripes,
+						deadline: tr.deadline(item.iter),
+						bytes:    subtree,
+					})
 					be.Create(p)
 					futs := make([]*des.Future, stripes)
 					for s := 0; s < stripes; s++ {
@@ -463,6 +517,9 @@ func runTreeNode(p *des.Proc, cfg Config, be storage.Backend, schedule writeSche
 					be.Close(p)
 					release()
 					res.FilesCreated++
+				}
+				if p.Now() > tr.writeEnd[item.iter] {
+					tr.writeEnd[item.iter] = p.Now()
 				}
 			}
 		}
@@ -511,14 +568,14 @@ func deliverUp(tree *cluster.Tree, aggs []*desAgg, res *Result, dest, it int,
 	aggs[dest].deliver(it, b, covers)
 }
 
-// failTreeNode executes one scheduled death on the DES side, mirroring
-// Cluster.killNode: re-route the tree, hand the dead node's in-flight
-// aggregations to the drain target with their coverage intact, account
-// the lost own output, and wake every parked dedicated core so it
-// re-checks its (now smaller) coverage requirement.
-func failTreeNode(res *Result, tree *cluster.Tree, aggs []*desAgg,
-	rootOrdinal map[int]int, shm *nodeShm, node int, item shmIter) {
-
+// failNode executes one scheduled death on the DES side, mirroring
+// Cluster.killNode: re-route the tree, free any scheduling tokens the
+// dead node holds or waits for, hand its in-flight aggregations to the
+// drain target with their coverage intact, account the lost own output,
+// and wake every parked dedicated core so it re-checks its (now
+// smaller) coverage requirement.
+func (tr *treeRun) failNode(shm *nodeShm, node int, item shmIter) {
+	res, tree, aggs := tr.res, tr.tree, tr.aggs
 	wasRoot := tree.IsRoot(node)
 	edges := tree.Fail(node)
 	res.NodesFailed++
@@ -527,10 +584,13 @@ func failTreeNode(res *Result, tree *cluster.Tree, aggs []*desAgg,
 		// The promoted sibling inherits the dead root's stripe window.
 		for _, e := range edges {
 			if e.NewParent == -1 {
-				rootOrdinal[e.Child] = rootOrdinal[node]
+				tr.rootOrdinal[e.Child] = tr.rootOrdinal[node]
 			}
 		}
 	}
+	// A dead root must not strand an OST token for the rest of the run:
+	// whatever it held or queued for goes back to the broker.
+	tr.schedule.releaseHolder(node)
 	// The triggering iteration's own output is the mid-iteration loss;
 	// kill() charges whatever else the segment held or receives later.
 	res.LostBytes += item.bytes

@@ -51,7 +51,28 @@ const (
 	// SchedGlobalToken bounds the number of concurrently writing
 	// dedicated cores to the number of OSTs.
 	SchedGlobalToken Scheduling = "global-token"
+	// SchedClusterToken arbitrates across every tree root of the run
+	// through one storage.TokenBroker: each stream holds its whole
+	// stripe window exclusively, and when roots contend the one whose
+	// iteration deadline is nearest is granted first (§IV.C spare-time
+	// scheduling across nodes, not just within one backend).
+	SchedClusterToken Scheduling = "cluster-token"
 )
+
+// Schedulings lists the scheduling policies, SchedNone first.
+func Schedulings() []Scheduling {
+	return []Scheduling{SchedNone, SchedOSTToken, SchedGlobalToken, SchedClusterToken}
+}
+
+// ValidateScheduling rejects unknown policy names before a run starts.
+func ValidateScheduling(s Scheduling) error {
+	for _, known := range Schedulings() {
+		if s == known {
+			return nil
+		}
+	}
+	return fmt.Errorf("iostrat: unknown scheduling policy %q", s)
+}
 
 // Workload describes the application's output behaviour, CM1-like: a
 // predictable compute phase followed by a synchronized output of all
@@ -164,6 +185,10 @@ type Config struct {
 	// CollectiveBuffer is the per-aggregator bytes written per two-phase
 	// round (default 16 MB, ROMIO's cb_buffer_size scale).
 	CollectiveBuffer float64
+
+	// testWrapBackend, when set (tests only), wraps the run's backend
+	// outermost, so probes observe every strategy-level operation.
+	testWrapBackend func(*des.Engine, storage.Backend) storage.Backend
 }
 
 func (c Config) withDefaults() Config {
@@ -224,6 +249,9 @@ func (c Config) newBackend(eng *des.Engine, r *rng.Stream) (storage.Backend, err
 			Engine: eng,
 		})
 	}
+	if c.testWrapBackend != nil {
+		be = c.testWrapBackend(eng, be)
+	}
 	return be, nil
 }
 
@@ -261,6 +289,12 @@ type Result struct {
 	// CodecCPUTime is the codec CPU charged on the dedicated cores by
 	// the Codec pipeline (encode plus decode).
 	CodecCPUTime float64
+	// SchedWaitTime is the total virtual time dedicated cores spent
+	// waiting for a scheduling token (0 under SchedNone).
+	SchedWaitTime float64
+	// RootContention counts token grants that had to queue behind
+	// another writer — how often the schedule actually arbitrated.
+	RootContention int
 
 	// Damaris-only measurements.
 
@@ -291,6 +325,21 @@ type Result struct {
 	// everywhere without failures; skips still count as participation,
 	// mirroring the runtime cluster's zero-block batches).
 	Completeness []float64
+	// TreeWriteLatencies has one entry per iteration in tree mode: from
+	// the output phase's start until the last root write of that
+	// iteration completed, token waits included — the per-iteration
+	// write tail the cross-root schedule is meant to flatten.
+	TreeWriteLatencies []float64
+}
+
+// WriteTailSpread returns the standard deviation of the per-iteration
+// root-write latencies (0 outside tree mode) — E6's cross-root
+// variability metric.
+func (r Result) WriteTailSpread() float64 {
+	if len(r.TreeWriteLatencies) == 0 {
+		return 0
+	}
+	return stats.StdDev(r.TreeWriteLatencies)
 }
 
 // MeanIOTime returns the mean application-visible output-phase duration.

@@ -108,6 +108,21 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
+// StdDev returns the population standard deviation of xs, 0 if fewer
+// than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
 // Max returns the maximum of xs, 0 if empty.
 func Max(xs []float64) float64 {
 	if len(xs) == 0 {
