@@ -16,7 +16,19 @@ COVER_FLOOR ?= 60
 # Label baked into the bench-json artifact (CI passes the commit sha).
 BENCH_LABEL ?= local
 
-.PHONY: build test vet fmt fmt-check bench bench-json cover-check tidy-check \
+# Previous artifact for bench-compare (CI downloads the last run's
+# upload here before comparing).
+BENCH_BASELINE ?= out/bench/previous/BENCH_previous.json
+
+# Regression threshold for bench-compare, as a fraction (0.10 = 10%).
+BENCH_THRESHOLD ?= 0.10
+
+# Benchmark driven by the pprof-* targets (see docs/PERFORMANCE.md).
+PPROF_BENCH ?= BenchmarkClusterAggregation
+PPROF_PKG ?= .
+
+.PHONY: build test vet fmt fmt-check bench bench-json bench-compare \
+	pprof-cpu pprof-alloc cover-check tidy-check \
 	failure-race failure-smoke restart-smoke c1-smoke fuzz-smoke lint docs-check \
 	smoke-e1 smoke-e6 smoke-e6-cross smoke-f1 smoke-r1 smoke-c1 ci
 
@@ -113,6 +125,30 @@ bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... > out/bench/bench.txt
 	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) \
 		-out out/bench/BENCH_$(BENCH_LABEL).json < out/bench/bench.txt
+
+# bench-compare diffs the freshly built BENCH_<label>.json against the
+# previous run's artifact and fails on a >$(BENCH_THRESHOLD) regression
+# in ns/op or MB/s. A missing baseline (first run, expired artifact)
+# passes with a notice — see cmd/benchcompare.
+bench-compare: bench-json
+	$(GO) run ./cmd/benchcompare -old $(BENCH_BASELINE) \
+		-new out/bench/BENCH_$(BENCH_LABEL).json -threshold $(BENCH_THRESHOLD)
+
+# Profiling entry points for the hot-path work: run one benchmark long
+# enough to sample, drop the profile under out/pprof/, and print the
+# top functions. Override PPROF_BENCH/PPROF_PKG to aim elsewhere, e.g.
+#   make pprof-cpu PPROF_BENCH=BenchmarkTimerDispatch PPROF_PKG=./internal/des
+pprof-cpu:
+	@mkdir -p out/pprof
+	$(GO) test $(PPROF_PKG) -run '^$$' -bench '^$(PPROF_BENCH)$$' -benchtime 2s \
+		-cpuprofile out/pprof/cpu.prof
+	$(GO) tool pprof -top -nodecount=20 out/pprof/cpu.prof
+
+pprof-alloc:
+	@mkdir -p out/pprof
+	$(GO) test $(PPROF_PKG) -run '^$$' -bench '^$(PPROF_BENCH)$$' -benchtime 2s \
+		-memprofile out/pprof/alloc.prof
+	$(GO) tool pprof -top -nodecount=20 -sample_index=alloc_space out/pprof/alloc.prof
 
 # cover-check enforces the checked-in coverage floor over the scheduling
 # core: internal/iostrat + internal/storage + internal/cluster combined.

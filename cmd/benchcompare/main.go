@@ -1,0 +1,175 @@
+// Command benchcompare diffs two BENCH_*.json artifacts (see
+// cmd/benchjson) and fails when a benchmark regressed beyond a
+// threshold, so a hot-path slowdown breaks CI instead of silently
+// accumulating.
+//
+// Usage:
+//
+//	benchcompare -old out/bench/BENCH_prev.json -new out/bench/BENCH_head.json
+//
+// Benchmarks are matched by package and name. Only the two
+// throughput-bearing metrics gate the result: ns/op (lower is better)
+// and MB/s (higher is better). Custom experiment metrics
+// (speedup_vs_collective, compression_ratio, …) are paper-shape
+// numbers, not machine performance, and are ignored here — the shape
+// checks in the benchmarks themselves gate those. Benchmarks present
+// in only one artifact are listed but never fail the run: renames and
+// new benchmarks must not wedge CI.
+//
+// A missing -old file exits 0 with a notice — the first run of a fresh
+// repository has no previous artifact to compare against.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Benchmark mirrors cmd/benchjson's per-benchmark shape.
+type Benchmark struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document mirrors cmd/benchjson's artifact shape.
+type Document struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Label      string      `json:"label,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// delta is one matched benchmark's comparison on one metric.
+type delta struct {
+	key    string // pkg.Name
+	unit   string // ns/op or MB/s
+	oldVal float64
+	newVal float64
+	change float64 // signed fraction; positive = regression
+}
+
+func main() {
+	oldPath := flag.String("old", "", "previous BENCH_*.json artifact")
+	newPath := flag.String("new", "", "current BENCH_*.json artifact")
+	threshold := flag.Float64("threshold", 0.10,
+		"failure threshold as a fraction (0.10 = fail on >10% regression)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcompare: need -old and -new")
+		os.Exit(2)
+	}
+
+	old, err := load(*oldPath)
+	if os.IsNotExist(err) {
+		fmt.Printf("benchcompare: no previous artifact at %s — nothing to compare (first run)\n", *oldPath)
+		return
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(2)
+	}
+
+	deltas, onlyOld, onlyNew := compare(old, cur)
+	report(deltas, onlyOld, onlyNew, *threshold)
+	for _, d := range deltas {
+		if d.change > *threshold {
+			fmt.Fprintf(os.Stderr,
+				"benchcompare: FAIL — %s %s regressed %.1f%% (threshold %.0f%%)\n",
+				d.key, d.unit, d.change*100, *threshold*100)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("benchcompare: %d benchmark(s) compared, none regressed beyond %.0f%%\n",
+		len(deltas), *threshold*100)
+}
+
+func load(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// gatedUnits maps the metrics that gate the comparison to their
+// direction: true = higher is better.
+var gatedUnits = map[string]bool{
+	"ns/op": false,
+	"MB/s":  true,
+}
+
+// compare matches benchmarks by pkg+name and computes the signed
+// regression fraction for every gated metric both sides carry.
+func compare(old, cur *Document) (deltas []delta, onlyOld, onlyNew []string) {
+	prev := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		prev[b.Pkg+"."+b.Name] = b
+	}
+	seen := map[string]bool{}
+	for _, b := range cur.Benchmarks {
+		key := b.Pkg + "." + b.Name
+		seen[key] = true
+		p, ok := prev[key]
+		if !ok {
+			onlyNew = append(onlyNew, key)
+			continue
+		}
+		for unit, higherBetter := range gatedUnits {
+			ov, okOld := p.Metrics[unit]
+			nv, okNew := b.Metrics[unit]
+			if !okOld || !okNew || ov <= 0 || nv <= 0 {
+				continue
+			}
+			change := nv/ov - 1 // fraction grew
+			if higherBetter {
+				change = ov/nv - 1 // fraction shrunk
+			}
+			deltas = append(deltas, delta{key: key, unit: unit, oldVal: ov, newVal: nv, change: change})
+		}
+	}
+	for key := range prev {
+		if !seen[key] {
+			onlyOld = append(onlyOld, key)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].change > deltas[j].change })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return deltas, onlyOld, onlyNew
+}
+
+// report prints the comparison table, worst regression first.
+func report(deltas []delta, onlyOld, onlyNew []string, threshold float64) {
+	for _, d := range deltas {
+		mark := " "
+		switch {
+		case d.change > threshold:
+			mark = "!"
+		case d.change < -threshold:
+			mark = "+"
+		}
+		fmt.Printf("%s %-60s %-6s %14.2f -> %14.2f  %+7.1f%%\n",
+			mark, d.key, d.unit, d.oldVal, d.newVal, d.change*100)
+	}
+	for _, key := range onlyNew {
+		fmt.Printf("  %-60s new benchmark (no baseline)\n", key)
+	}
+	for _, key := range onlyOld {
+		fmt.Printf("  %-60s dropped (present only in baseline)\n", key)
+	}
+}

@@ -1,0 +1,105 @@
+package main
+
+import "testing"
+
+func doc(benchmarks ...Benchmark) *Document { return &Document{Benchmarks: benchmarks} }
+
+func bench(pkg, name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestCompareDirections(t *testing.T) {
+	old := doc(
+		bench("p", "BenchmarkA", map[string]float64{"ns/op": 100, "MB/s": 50}),
+	)
+	cur := doc(
+		bench("p", "BenchmarkA", map[string]float64{"ns/op": 150, "MB/s": 40}),
+	)
+	deltas, _, _ := compare(old, cur)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	for _, d := range deltas {
+		switch d.unit {
+		case "ns/op": // 100 → 150: 50% slower
+			if d.change < 0.49 || d.change > 0.51 {
+				t.Errorf("ns/op change = %v, want ~0.50", d.change)
+			}
+		case "MB/s": // 50 → 40: 25% regression (old/new - 1)
+			if d.change < 0.24 || d.change > 0.26 {
+				t.Errorf("MB/s change = %v, want ~0.25", d.change)
+			}
+		default:
+			t.Errorf("unexpected gated unit %q", d.unit)
+		}
+	}
+}
+
+func TestCompareImprovementIsNegative(t *testing.T) {
+	old := doc(bench("p", "BenchmarkA", map[string]float64{"ns/op": 100}))
+	cur := doc(bench("p", "BenchmarkA", map[string]float64{"ns/op": 50}))
+	deltas, _, _ := compare(old, cur)
+	if len(deltas) != 1 || deltas[0].change >= 0 {
+		t.Fatalf("improvement not negative: %+v", deltas)
+	}
+}
+
+func TestCompareIgnoresCustomMetrics(t *testing.T) {
+	// Paper-shape metrics (speedup ratios, compression ratios) must not
+	// gate the comparison — only ns/op and MB/s do.
+	old := doc(bench("p", "BenchmarkE1", map[string]float64{
+		"ns/op": 100, "speedup_vs_collective": 3.5}))
+	cur := doc(bench("p", "BenchmarkE1", map[string]float64{
+		"ns/op": 100, "speedup_vs_collective": 1.0}))
+	deltas, _, _ := compare(old, cur)
+	if len(deltas) != 1 || deltas[0].unit != "ns/op" {
+		t.Fatalf("custom metric leaked into the gate: %+v", deltas)
+	}
+}
+
+func TestCompareNewAndDropped(t *testing.T) {
+	old := doc(
+		bench("p", "BenchmarkGone", map[string]float64{"ns/op": 5}),
+		bench("p", "BenchmarkKept", map[string]float64{"ns/op": 5}),
+	)
+	cur := doc(
+		bench("p", "BenchmarkKept", map[string]float64{"ns/op": 5}),
+		bench("p", "BenchmarkNew", map[string]float64{"ns/op": 5}),
+	)
+	deltas, onlyOld, onlyNew := compare(old, cur)
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1", len(deltas))
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "p.BenchmarkGone" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "p.BenchmarkNew" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestCompareSortsWorstFirst(t *testing.T) {
+	old := doc(
+		bench("p", "BenchmarkSmall", map[string]float64{"ns/op": 100}),
+		bench("p", "BenchmarkBig", map[string]float64{"ns/op": 100}),
+	)
+	cur := doc(
+		bench("p", "BenchmarkSmall", map[string]float64{"ns/op": 101}),
+		bench("p", "BenchmarkBig", map[string]float64{"ns/op": 300}),
+	)
+	deltas, _, _ := compare(old, cur)
+	if len(deltas) != 2 || deltas[0].key != "p.BenchmarkBig" {
+		t.Fatalf("not sorted worst first: %+v", deltas)
+	}
+}
+
+func TestCompareSkipsNonPositiveValues(t *testing.T) {
+	// A zero or missing measurement cannot produce a ratio; it must be
+	// skipped, not divide by zero or fabricate a regression.
+	old := doc(bench("p", "BenchmarkZ", map[string]float64{"ns/op": 0, "MB/s": 10}))
+	cur := doc(bench("p", "BenchmarkZ", map[string]float64{"ns/op": 5}))
+	deltas, _, _ := compare(old, cur)
+	if len(deltas) != 0 {
+		t.Fatalf("non-positive/missing values produced deltas: %+v", deltas)
+	}
+}

@@ -6,7 +6,12 @@
 //     existing file or directory;
 //   - every Go package — root, internal/..., cmd/..., examples/... —
 //     carries a package comment ("// Package xxx ..." or a command
-//     comment on package main).
+//     comment on package main);
+//   - in the hot-path packages (see docDepthDirs), every exported
+//     top-level identifier — funcs, methods, types, consts, vars —
+//     carries a doc comment. Those packages are the performance
+//     surface documented by docs/PERFORMANCE.md, and an undocumented
+//     export there is documentation rot.
 //
 // Usage:
 //
@@ -17,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -36,6 +42,7 @@ func main() {
 	var problems []string
 	problems = append(problems, checkMarkdownLinks(*root)...)
 	problems = append(problems, checkPackageComments(*root)...)
+	problems = append(problems, checkExportedDocs(*root)...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -113,6 +120,123 @@ func stripCodeFences(s string) string {
 		out.WriteString("\n")
 	}
 	return out.String()
+}
+
+// docDepthDirs are the packages held to the stricter standard: every
+// exported top-level identifier must carry a doc comment. These are
+// the hot-path packages reworked by the performance pass (see
+// docs/PERFORMANCE.md) — their exported surface is the contract the
+// benchmarks and the pooling rules hang off.
+var docDepthDirs = []string{
+	"internal/des",
+	"internal/core",
+	"internal/buf",
+	"cmd/benchcompare",
+	"cmd/benchjson",
+}
+
+// checkExportedDocs flags exported top-level declarations without doc
+// comments in the docDepthDirs packages. A const/var group documents
+// all its names with one group comment, matching godoc's rendering.
+func checkExportedDocs(root string) []string {
+	var problems []string
+	for _, dir := range docDepthDirs {
+		path := filepath.Join(root, dir)
+		if _, err := os.Stat(path); err != nil {
+			continue // package not present in this tree
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, path, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("parsing %s: %v", path, err))
+			continue
+		}
+		for _, pkg := range pkgs {
+			for fname, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					for _, p := range undocumentedExports(decl) {
+						pos := fset.Position(p.pos)
+						problems = append(problems, fmt.Sprintf(
+							"%s:%d: exported %s %s has no doc comment",
+							fname, pos.Line, p.kind, p.name))
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// export is one undocumented exported identifier found in a decl.
+type export struct {
+	kind string
+	name string
+	pos  token.Pos
+}
+
+// undocumentedExports lists the exported names a declaration introduces
+// without documentation: funcs and methods missing a doc comment, and
+// specs in type/const/var groups covered by neither a spec comment nor
+// the group comment.
+func undocumentedExports(decl ast.Decl) []export {
+	var out []export
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil {
+			kind := "function"
+			if d.Recv != nil {
+				// Methods on unexported receivers never surface in
+				// godoc; only exported receivers are held to the rule.
+				if !receiverExported(d.Recv) {
+					return nil
+				}
+				kind = "method"
+			}
+			out = append(out, export{kind: kind, name: d.Name.Name, pos: d.Pos()})
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
+					out = append(out, export{kind: "type", name: s.Name.Name, pos: s.Pos()})
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil || d.Doc != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						out = append(out, export{kind: d.Tok.String(), name: n.Name, pos: n.Pos()})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverExported reports whether a method's receiver names an
+// exported type (after stripping pointers and type parameters).
+func receiverExported(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
 }
 
 // checkPackageComments requires a package comment in every directory

@@ -1,0 +1,122 @@
+package buf
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n, class int
+	}{
+		{0, 0}, {1, 0}, {256, 0},
+		{257, 1}, {512, 1},
+		{513, 2}, {1024, 2},
+		{1 << 24, maxClassBits - minClassBits},
+		{1<<24 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestGetLengthAndClassCapacity(t *testing.T) {
+	for _, n := range []int{0, 1, 255, 256, 257, 4096, 100000, 1 << 24} {
+		b := Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d) returned len %d", n, len(b))
+		}
+		if c := classFor(n); c >= 0 && cap(b) != 1<<(minClassBits+c) {
+			t.Fatalf("Get(%d) cap = %d, want class size %d", n, cap(b), 1<<(minClassBits+c))
+		}
+		Put(b)
+	}
+}
+
+func TestOversizeFallsThrough(t *testing.T) {
+	n := 1<<24 + 1
+	before := Stats()
+	b := Get(n)
+	if len(b) != n {
+		t.Fatalf("oversize Get returned len %d", len(b))
+	}
+	after := Stats()
+	if after.Oversize <= before.Oversize {
+		t.Fatal("oversize Get not counted")
+	}
+	Put(b) // must not wedge a pool with an unpooled size
+}
+
+func TestPutRejectsOddCapacities(t *testing.T) {
+	// A foreign slice whose capacity is not a pooled power of two must
+	// be dropped, never handed back out short by a later Get.
+	Put(make([]byte, 300))
+	Put(make([]byte, 0, 100))
+	Put(nil)
+	b := Get(512)
+	if len(b) != 512 || cap(b) < 512 {
+		t.Fatalf("Get(512) after odd Puts: len=%d cap=%d", len(b), cap(b))
+	}
+	Put(b)
+}
+
+func TestCloneCopies(t *testing.T) {
+	src := []byte("the payload under test")
+	dst := Clone(src)
+	if !bytes.Equal(src, dst) {
+		t.Fatalf("Clone = %q, want %q", dst, src)
+	}
+	dst[0] = 'X'
+	if src[0] == 'X' {
+		t.Fatal("Clone aliases its source")
+	}
+	Put(dst)
+}
+
+// TestPoolConcurrentReuse hammers the pool from many goroutines under
+// the race detector: each goroutine stamps its buffers with a private
+// pattern and verifies the stamp before releasing. A double Put (two
+// owners holding the same buffer) shows up as either a failed verify
+// or a race report.
+func TestPoolConcurrentReuse(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 2000
+	)
+	sizes := []int{64, 256, 300, 4096, 65536}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(stamp byte) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				n := sizes[i%len(sizes)]
+				b := Get(n)
+				for j := range b {
+					b[j] = stamp
+				}
+				for j := range b {
+					if b[j] != stamp {
+						t.Errorf("buffer corrupted: got %d, want %d", b[j], stamp)
+						return
+					}
+				}
+				Put(b)
+			}
+		}(byte(g + 1))
+	}
+	wg.Wait()
+}
+
+func TestStatsMonotone(t *testing.T) {
+	before := Stats()
+	b := Get(1024)
+	Put(b)
+	after := Stats()
+	if after.Gets <= before.Gets || after.Puts <= before.Puts {
+		t.Fatalf("stats did not advance: %+v -> %+v", before, after)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/buf"
 )
 
 // Block is one variable block as it travels up the aggregation tree:
@@ -55,25 +57,82 @@ func (b *Batch) normalize() {
 
 var batchMagic = []byte("DMB1")
 
+// ReleaseBuffers returns every block payload to the buffer pool and
+// clears the batch. It is the end-of-life step for batches whose
+// payloads came from buf.Get (the cluster forwarding path): the root
+// calls it after its store Put returned (every built-in backend owns
+// its own copy by then), and the failure paths call it when a batch is
+// dropped. A hook that wants to keep payload bytes past OnIteration
+// must copy them — the memory is recycled right after the store write.
+func (b *Batch) ReleaseBuffers() {
+	for i := range b.Blocks {
+		buf.Put(b.Blocks[i].Data)
+		b.Blocks[i].Data = nil
+	}
+	b.Blocks = nil
+}
+
+// encodedLen returns the exact EncodeBatch output size.
+func (b *Batch) encodedLen() int {
+	n := len(batchMagic) + 8
+	for _, blk := range b.Blocks {
+		n += 12 + len(blk.Variable) + 4 + len(blk.Data)
+	}
+	return n
+}
+
+// EncodeBatchVec serializes a batch as a scatter-gather segment list:
+// the concatenation of the returned segments is byte-identical to
+// EncodeBatch, but block payloads are aliased, not copied — the
+// segments reference each Block's Data directly, and only the small
+// framing headers are newly written (into one shared header buffer).
+// Leaf→interior→root batching and the storage write path move headers
+// this way, never payload bytes.
+//
+// The segments alias both the batch's payloads and an internal header
+// buffer, so they are valid only until the batch is mutated or
+// released; hand them to storage.PutVec (or flatten) before either.
+func EncodeBatchVec(b *Batch) [][]byte {
+	b.normalize()
+	// One contiguous header arena keeps the per-block header segments
+	// from costing an allocation each; slices of it are handed out
+	// below. +1 segment for the leading magic/iteration/count header.
+	headerLen := len(batchMagic) + 8
+	for _, blk := range b.Blocks {
+		headerLen += 12 + len(blk.Variable) + 4
+	}
+	arena := make([]byte, 0, headerLen)
+	segs := make([][]byte, 0, 1+2*len(b.Blocks))
+
+	arena = append(arena, batchMagic...)
+	arena = binary.LittleEndian.AppendUint32(arena, uint32(b.Iteration))
+	arena = binary.LittleEndian.AppendUint32(arena, uint32(len(b.Blocks)))
+	segs = append(segs, arena)
+	mark := len(arena)
+	for i := range b.Blocks {
+		blk := &b.Blocks[i]
+		arena = binary.LittleEndian.AppendUint32(arena, uint32(blk.Node))
+		arena = binary.LittleEndian.AppendUint32(arena, uint32(blk.Source))
+		arena = binary.LittleEndian.AppendUint32(arena, uint32(len(blk.Variable)))
+		arena = append(arena, blk.Variable...)
+		arena = binary.LittleEndian.AppendUint32(arena, uint32(len(blk.Data)))
+		segs = append(segs, arena[mark:len(arena):len(arena)], blk.Data)
+		mark = len(arena)
+	}
+	return segs
+}
+
 // EncodeBatch serializes a batch into the flat object format the tree
 // roots hand to the storage backend. Blocks are normalized first, so
-// equal batches encode to equal bytes.
+// equal batches encode to equal bytes. It is the flattened form of
+// EncodeBatchVec — callers on the hot path should prefer the vector
+// form, which does not copy payloads.
 func EncodeBatch(b *Batch) []byte {
-	b.normalize()
-	var buf bytes.Buffer
-	buf.Write(batchMagic)
-	writeU32 := func(v uint32) { binary.Write(&buf, binary.LittleEndian, v) }
-	writeU32(uint32(b.Iteration))
-	writeU32(uint32(len(b.Blocks)))
-	for _, blk := range b.Blocks {
-		writeU32(uint32(blk.Node))
-		writeU32(uint32(blk.Source))
-		writeU32(uint32(len(blk.Variable)))
-		buf.WriteString(blk.Variable)
-		writeU32(uint32(len(blk.Data)))
-		buf.Write(blk.Data)
+	out := make([]byte, 0, b.encodedLen())
+	for _, seg := range EncodeBatchVec(b) {
+		out = append(out, seg...)
 	}
-	return buf.Bytes()
+	return out
 }
 
 // DecodeBatch parses an object produced by EncodeBatch.

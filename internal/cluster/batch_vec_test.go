@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomBatch builds a pseudo-random batch from a seeded source, so
+// failures reproduce from the logged seed.
+func randomBatch(rng *rand.Rand) *Batch {
+	b := &Batch{Iteration: rng.Intn(1000)}
+	nblocks := rng.Intn(20)
+	for i := 0; i < nblocks; i++ {
+		data := make([]byte, rng.Intn(512))
+		rng.Read(data)
+		b.Blocks = append(b.Blocks, Block{
+			Node:     rng.Intn(8),
+			Source:   rng.Intn(4),
+			Variable: fmt.Sprintf("v%d", rng.Intn(6)),
+			Data:     data,
+		})
+	}
+	return b
+}
+
+// TestEncodeBatchVecMatchesFlat is the property test behind the
+// zero-copy write path: for arbitrary batches, the concatenation of
+// EncodeBatchVec's segments must be byte-identical to EncodeBatch, and
+// both must round-trip through DecodeBatch.
+func TestEncodeBatchVecMatchesFlat(t *testing.T) {
+	const seed = 7
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 200; trial++ {
+		b := randomBatch(rng)
+		flat := EncodeBatch(b)
+		var joined []byte
+		for _, seg := range EncodeBatchVec(b) {
+			joined = append(joined, seg...)
+		}
+		if !bytes.Equal(flat, joined) {
+			t.Fatalf("seed %d trial %d: vec concatenation differs from flat encoding (%d vs %d bytes)",
+				seed, trial, len(joined), len(flat))
+		}
+		dec, err := DecodeBatch(joined)
+		if err != nil {
+			t.Fatalf("seed %d trial %d: decode: %v", seed, trial, err)
+		}
+		if dec.Iteration != b.Iteration || len(dec.Blocks) != len(b.Blocks) {
+			t.Fatalf("seed %d trial %d: round trip lost blocks: %d vs %d",
+				seed, trial, len(dec.Blocks), len(b.Blocks))
+		}
+		for i := range dec.Blocks {
+			got, want := dec.Blocks[i], b.Blocks[i] // b was normalized by encode
+			if got.Node != want.Node || got.Source != want.Source ||
+				got.Variable != want.Variable || !bytes.Equal(got.Data, want.Data) {
+				t.Fatalf("seed %d trial %d: block %d differs after round trip", seed, trial, i)
+			}
+		}
+	}
+}
+
+// TestEncodeBatchVecAliasesPayloads pins the zero-copy contract: the
+// payload segments must reference each Block's Data directly, not a
+// copy — that is the entire point of the vector encoding.
+func TestEncodeBatchVecAliasesPayloads(t *testing.T) {
+	b := &Batch{Iteration: 3, Blocks: []Block{
+		{Node: 0, Source: 0, Variable: "a", Data: []byte{1, 2, 3, 4}},
+		{Node: 1, Source: 0, Variable: "b", Data: []byte{5, 6, 7}},
+	}}
+	segs := EncodeBatchVec(b)
+	// Layout: header, then (blockHeader, payload) pairs.
+	if len(segs) != 1+2*len(b.Blocks) {
+		t.Fatalf("got %d segments, want %d", len(segs), 1+2*len(b.Blocks))
+	}
+	for i := range b.Blocks {
+		payload := segs[2+2*i]
+		if len(payload) == 0 {
+			continue
+		}
+		if &payload[0] != &b.Blocks[i].Data[0] {
+			t.Fatalf("payload segment %d is a copy, not an alias", i)
+		}
+	}
+}
+
+// TestEncodeBatchVecEmpty covers the degenerate batch: header only.
+func TestEncodeBatchVecEmpty(t *testing.T) {
+	b := &Batch{Iteration: 9}
+	segs := EncodeBatchVec(b)
+	if len(segs) != 1 {
+		t.Fatalf("empty batch produced %d segments", len(segs))
+	}
+	dec, err := DecodeBatch(EncodeBatch(b))
+	if err != nil || dec.Iteration != 9 || len(dec.Blocks) != 0 {
+		t.Fatalf("empty batch round trip: %v, %+v", err, dec)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/buf"
 	"repro/internal/core"
 	"repro/internal/meta"
 	"repro/internal/storage"
@@ -16,7 +17,10 @@ import (
 // root once that root's whole subtree has delivered an iteration, with
 // the merged batch still in memory. The batch is normalized before the
 // hook runs, so hooks observe the same (node, source, variable) order
-// that EncodeBatch later stores, regardless of arrival order.
+// that EncodeBatch later stores, regardless of arrival order. Block
+// payloads live in pooled buffers that are recycled right after the
+// iteration is stored — a hook that wants bytes past its own return
+// must copy them.
 type Hook interface {
 	// Name identifies the hook in errors.
 	Name() string
@@ -149,10 +153,13 @@ type Cluster struct {
 	aggs  []*aggregator
 	wg    sync.WaitGroup
 
-	// mu guards the tree (failures re-route it mid-run), the stats,
-	// and every aggregator mailbox; routing lookups and mailbox posts
-	// happen under the same critical section so a re-route is atomic
-	// with respect to in-flight deliveries.
+	// mu guards the tree (failures re-route it mid-run), the stats and
+	// the exited flags. Each aggregator's mailbox has its own lock
+	// (aggregator.mboxMu) so concurrent leaf deliveries do not contend
+	// on one cluster-wide mutex; routing lookups and the posts they
+	// decide still happen while c.mu is held, so a re-route stays
+	// atomic with respect to in-flight deliveries. Lock order:
+	// c.mu before mboxMu, never the reverse.
 	mu        sync.Mutex
 	tree      Tree
 	failEpoch int // bumped by every killNode; invalidates coverage caches
@@ -216,14 +223,15 @@ func New(cfg Config) (*Cluster, error) {
 	c.iterDone = sync.NewCond(&c.mu)
 
 	for i := range c.aggs {
-		c.aggs[i] = &aggregator{
+		a := &aggregator{
 			c:       c,
 			node:    i,
-			avail:   sync.NewCond(&c.mu),
 			pending: map[int]*pendingIter{},
 			eofFrom: map[int]bool{},
 			stored:  map[int]bool{},
 		}
+		a.avail = sync.NewCond(&a.mboxMu)
+		c.aggs[i] = a
 	}
 	for i := range c.nodes {
 		nodeID := i
@@ -406,6 +414,7 @@ func (c *Cluster) postTo(i int, m aggMsg) {
 	if c.exited[i] {
 		if m.batch != nil {
 			c.stats.BlocksLost += len(m.batch.Blocks)
+			m.batch.ReleaseBuffers()
 		}
 		return
 	}
@@ -457,12 +466,12 @@ func (f *forwarder) OnEvent(ctx *core.PluginContext, ev core.Event) error {
 			Variable: ref.Key.Variable,
 			// The node frees the shared-memory block right after the
 			// plugins return; the copy decouples aggregation from it.
-			Data: append([]byte(nil), ctx.BlockBytes(ref)...),
+			// The snapshot buffer comes from the pool and is recycled
+			// once the batch reaches a root object (or is dropped).
+			Data: buf.Clone(ctx.BlockBytes(ref)),
 		})
 	}
-	c.mu.Lock()
 	f.agg.post(aggMsg{batch: b, covers: []int{f.agg.node}, from: f.agg.node})
-	c.mu.Unlock()
 	return nil
 }
 
@@ -491,10 +500,16 @@ type pendingIter struct {
 // subtree — a requirement that shrinks when nodes die, which is what
 // lets the forest re-route around failures without deadlocking.
 type aggregator struct {
-	c     *Cluster
-	node  int
-	avail *sync.Cond // on c.mu
-	mbox  []aggMsg   // guarded by c.mu; unbounded so posts never block
+	c    *Cluster
+	node int
+
+	// mboxMu guards this aggregator's mailbox alone, so deliveries to
+	// different nodes never contend with each other (c.mu used to guard
+	// every mailbox and was the aggregation layer's hottest lock).
+	// Acquired after c.mu when both are needed.
+	mboxMu sync.Mutex
+	avail  *sync.Cond // on mboxMu
+	mbox   []aggMsg   // unbounded so posts never block
 
 	// Goroutine-local state (only touched by run()).
 	pending  map[int]*pendingIter
@@ -505,23 +520,33 @@ type aggregator struct {
 	reqEpoch int
 }
 
-// post enqueues a message. Callers hold c.mu.
+// post enqueues a message. Safe with or without c.mu held (routing
+// callers hold it; the forwarder does not).
 func (a *aggregator) post(m aggMsg) {
+	a.mboxMu.Lock()
 	a.mbox = append(a.mbox, m)
+	a.mboxMu.Unlock()
 	a.avail.Signal()
 }
 
 // recv dequeues the next message, blocking until one arrives.
 func (a *aggregator) recv() aggMsg {
-	a.c.mu.Lock()
+	a.mboxMu.Lock()
 	for len(a.mbox) == 0 {
 		a.avail.Wait()
 	}
 	m := a.mbox[0]
 	a.mbox[0] = aggMsg{}
 	a.mbox = a.mbox[1:]
-	a.c.mu.Unlock()
+	a.mboxMu.Unlock()
 	return m
+}
+
+// mboxEmpty reports whether the mailbox is drained.
+func (a *aggregator) mboxEmpty() bool {
+	a.mboxMu.Lock()
+	defer a.mboxMu.Unlock()
+	return len(a.mbox) == 0
 }
 
 func (a *aggregator) run() {
@@ -616,7 +641,7 @@ func (a *aggregator) finished() bool {
 	c := a.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(a.mbox) > 0 {
+	if !a.mboxEmpty() {
 		return false
 	}
 	if a.dead {
@@ -673,6 +698,7 @@ func (a *aggregator) drainUp(b *Batch, covers []int) {
 	dest, ok := c.tree.DrainTarget(a.node)
 	if !ok {
 		c.stats.BlocksLost += len(b.Blocks)
+		b.ReleaseBuffers()
 	} else {
 		c.stats.BatchesForwarded++
 		c.stats.BytesForwarded += int64(b.Bytes())
@@ -705,6 +731,7 @@ func (a *aggregator) emit(b *Batch, covered map[int]bool, partial bool) {
 		// object is immutable, so the late blocks are lost.
 		c.stats.BlocksLost += len(b.Blocks)
 		c.mu.Unlock()
+		b.ReleaseBuffers()
 		return
 	}
 	a.stored[b.Iteration] = true
@@ -732,16 +759,20 @@ func (a *aggregator) emit(b *Batch, covered map[int]bool, partial bool) {
 
 	// Root: normalize so hooks and the stored object agree on block
 	// order, run the cluster-wide hooks on the merged subtree, then the
-	// batch becomes one large sequential object on the backend.
+	// batch becomes one large sequential object on the backend. The
+	// write is scatter-gather: only the small framing headers are newly
+	// built, payload segments alias the batch's pooled buffers, and the
+	// backend gathers (or discards) them in its own single copy.
 	b.normalize()
 	for _, h := range c.cfg.Hooks {
 		if err := h.OnIteration(b.Iteration, b); err != nil {
 			c.fail(fmt.Errorf("hook %q on iteration %d: %w", h.Name(), b.Iteration, err))
 		}
 	}
-	obj := EncodeBatch(b)
+	segs := EncodeBatchVec(b)
+	objLen := storage.SegsLen(segs)
 	name := fmt.Sprintf("%s-root%03d-it%06d", c.cfg.JobName, a.node, b.Iteration)
-	err := c.cfg.Store.Put(name, obj)
+	err := storage.PutVec(c.cfg.Store, name, segs)
 	var manifestStored bool
 	if err == nil && !c.cfg.DisableManifests {
 		// The manifest rides along with the data: a small index object
@@ -765,12 +796,16 @@ func (a *aggregator) emit(b *Batch, covered map[int]bool, partial bool) {
 			manifestStored = true
 		}
 	}
+	// The store (and the manifest, which reads only block metadata) is
+	// done with the payloads; the pooled buffers go back for the next
+	// iteration's snapshots.
+	b.ReleaseBuffers()
 	c.mu.Lock()
 	if err == nil {
 		// Coverage and partial accounting describe *stored* objects; a
 		// failed Put stored nothing, so the loss shows in Completeness.
 		c.stats.ObjectsWritten++
-		c.stats.ObjectBytes += int64(len(obj))
+		c.stats.ObjectBytes += int64(objLen)
 		if manifestStored {
 			c.stats.ManifestsWritten++
 		}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/meta"
@@ -119,12 +120,33 @@ func (ctx *PluginContext) BlockBytes(ref meta.BlockRef) []byte {
 
 // Stats aggregates what the node measured.
 type Stats struct {
-	BlocksWritten       int64
-	BytesWritten        int64
+	// BlocksWritten and BytesWritten count committed client writes.
+	BlocksWritten int64
+	BytesWritten  int64
+	// IterationsCompleted counts iterations fully processed by the
+	// dedicated core (all clients ended, plugins ran, blocks freed).
 	IterationsCompleted int64
-	SkippedWrites       int64
-	ServerBusy          time.Duration
-	PluginErrors        int64
+	// SkippedWrites counts client writes dropped because the segment was
+	// full (the paper's skip-rather-than-block policy).
+	SkippedWrites int64
+	// ServerBusy is the dedicated core's cumulative event-processing time.
+	ServerBusy time.Duration
+	// PluginErrors counts plugin failures (the errors themselves are in
+	// Errors).
+	PluginErrors int64
+}
+
+// counters is the node's live tally behind Stats. The fields written on
+// the client write path are atomics so concurrent writers never
+// serialize on the node mutex just to bump a counter; the mutex-guarded
+// state (errs, endCount, skipped) keeps its own locks.
+type counters struct {
+	blocksWritten       atomic.Int64
+	bytesWritten        atomic.Int64
+	iterationsCompleted atomic.Int64 // updated under Node.mu for WaitIteration's cond
+	skippedWrites       atomic.Int64
+	serverBusy          atomic.Int64 // nanoseconds
+	pluginErrors        atomic.Int64
 }
 
 // Options tune NewNode beyond the XML configuration.
@@ -151,13 +173,18 @@ type Node struct {
 
 	plugins map[string][]Plugin // event name → plugins
 
+	stats counters
+
 	mu         sync.Mutex
-	stats      Stats
 	errs       []error
 	endCount   map[int]int
 	iterDone   *sync.Cond
-	skipped    map[skipKey]bool
 	serverDone chan struct{}
+
+	// skipMu guards skipped separately from mu: the not-skipped check is
+	// on every client write's fast path and only needs a read lock.
+	skipMu  sync.RWMutex
+	skipped map[skipKey]bool
 }
 
 type skipKey struct{ source, iteration int }
@@ -222,9 +249,14 @@ func (n *Node) Segment() *shm.Segment { return n.seg }
 
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return Stats{
+		BlocksWritten:       n.stats.blocksWritten.Load(),
+		BytesWritten:        n.stats.bytesWritten.Load(),
+		IterationsCompleted: n.stats.iterationsCompleted.Load(),
+		SkippedWrites:       n.stats.skippedWrites.Load(),
+		ServerBusy:          time.Duration(n.stats.serverBusy.Load()),
+		PluginErrors:        n.stats.pluginErrors.Load(),
+	}
 }
 
 // Errors returns the plugin errors collected so far.
@@ -245,7 +277,7 @@ func (n *Node) Client(source int) *Client {
 func (n *Node) WaitIteration(it int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	for n.stats.IterationsCompleted <= int64(it) {
+	for n.stats.iterationsCompleted.Load() <= int64(it) {
 		n.iterDone.Wait()
 	}
 }
@@ -295,9 +327,7 @@ func (n *Node) serve() {
 				n.collectIteration(ev.Iteration)
 			}
 		}
-		n.mu.Lock()
-		n.stats.ServerBusy += time.Since(start)
-		n.mu.Unlock()
+		n.stats.serverBusy.Add(int64(time.Since(start)))
 	}
 }
 
@@ -315,8 +345,8 @@ func (n *Node) firePlugins(event string, ev Event) {
 		if err := safeCall(p, ctx, ev); err != nil {
 			n.mu.Lock()
 			n.errs = append(n.errs, fmt.Errorf("plugin %q on %q: %w", p.Name(), event, err))
-			n.stats.PluginErrors++
 			n.mu.Unlock()
+			n.stats.pluginErrors.Add(1)
 			n.opts.Logger.Printf("plugin %q failed: %v", p.Name(), err)
 		}
 	}
@@ -337,8 +367,10 @@ func (n *Node) collectIteration(it int) {
 	for _, ref := range n.index.RemoveIteration(it) {
 		ref.Data.(*shm.Block).Free()
 	}
+	// The increment happens under mu so WaitIteration cannot check the
+	// counter and then miss the broadcast.
 	n.mu.Lock()
-	n.stats.IterationsCompleted++
+	n.stats.iterationsCompleted.Add(1)
 	n.iterDone.Broadcast()
 	n.mu.Unlock()
 }
@@ -394,21 +426,21 @@ func (c *Client) allocChecked(variable string, iteration, size int) ([]byte, fun
 func (c *Client) alloc(variable string, iteration, size int) ([]byte, func() error, error) {
 	n := c.node
 	key := skipKey{c.source, iteration}
-	n.mu.Lock()
-	if n.skipped[key] {
-		n.mu.Unlock()
+	n.skipMu.RLock()
+	skip := n.skipped[key]
+	n.skipMu.RUnlock()
+	if skip {
 		return nil, nil, ErrSkipped
 	}
-	n.mu.Unlock()
 
 	block, err := n.seg.Alloc(size)
 	if errors.Is(err, shm.ErrNoSpace) {
 		// The paper's policy: drop the iteration rather than block the
 		// simulation.
-		n.mu.Lock()
+		n.skipMu.Lock()
 		n.skipped[key] = true
-		n.stats.SkippedWrites++
-		n.mu.Unlock()
+		n.skipMu.Unlock()
+		n.stats.skippedWrites.Add(1)
 		return nil, nil, ErrSkipped
 	}
 	if err != nil {
@@ -423,10 +455,8 @@ func (c *Client) alloc(variable string, iteration, size int) ([]byte, func() err
 		if replaced {
 			old.Data.(*shm.Block).Free()
 		}
-		n.mu.Lock()
-		n.stats.BlocksWritten++
-		n.stats.BytesWritten += int64(size)
-		n.mu.Unlock()
+		n.stats.blocksWritten.Add(1)
+		n.stats.bytesWritten.Add(int64(size))
 		n.queue.Send(Event{Kind: EventWrite, Source: c.source, Iteration: iteration, Name: variable})
 		return nil
 	}

@@ -14,38 +14,23 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 )
 
-// event is a scheduled occurrence: either resume a process or invoke fn.
+// event is a scheduled occurrence: either resume a process or invoke
+// fn. Events live in the engine's indexed heap; index tracks the heap
+// position so Cancel and Reschedule are O(log n) structural updates
+// instead of leaving tombstones for Run to skip. Fired or canceled
+// events are recycled through the engine's freelist — gen is bumped on
+// every recycle so a stale Timer handle can never touch an event that
+// now belongs to someone else.
 type event struct {
-	time float64
-	seq  uint64 // tie-breaker: FIFO among equal-time events
-	proc *Proc  // non-nil: wake this process
-	fn   func() // non-nil: run this callback in engine context
-	// canceled events stay in the heap but are skipped when popped.
-	canceled bool
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	time  float64
+	seq   uint64 // tie-breaker: FIFO among equal-time events
+	proc  *Proc  // non-nil: wake this process
+	fn    func() // non-nil: run this callback in engine context
+	index int    // heap position; -1 once popped, removed or recycled
+	gen   uint32 // incarnation counter validated by Timer handles
 }
 
 // Engine is a discrete-event simulation engine. Create one with NewEngine,
@@ -55,9 +40,128 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now    float64
 	seq    uint64
-	events eventHeap
+	events []*event      // indexed binary min-heap on (time, seq)
+	free   []*event      // recycled event structs (see event.gen)
 	ctl    chan struct{} // process → engine: "I yielded or finished"
 	nprocs int           // live processes (diagnostics)
+}
+
+// The indexed heap. Identical ordering to the pre-index implementation
+// — (time, seq) min-heap, so equal-time events fire in schedule order —
+// but every sift updates event.index, which is what makes removal and
+// retiming of an arbitrary pending event logarithmic.
+
+func (e *Engine) heapLess(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapSwap(i, j int) {
+	h := e.events
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (e *Engine) heapUp(i int) {
+	h := e.events
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heapLess(h[i], h[parent]) {
+			break
+		}
+		e.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) heapDown(i int) {
+	h := e.events
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && e.heapLess(h[r], h[l]) {
+			least = r
+		}
+		if !e.heapLess(h[least], h[i]) {
+			return
+		}
+		e.heapSwap(i, least)
+		i = least
+	}
+}
+
+func (e *Engine) heapPush(ev *event) {
+	ev.index = len(e.events)
+	e.events = append(e.events, ev)
+	e.heapUp(ev.index)
+}
+
+func (e *Engine) heapPop() *event {
+	h := e.events
+	ev := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[0].index = 0
+	h[last] = nil
+	e.events = h[:last]
+	ev.index = -1
+	if last > 0 {
+		e.heapDown(0)
+	}
+	return ev
+}
+
+// heapRemove unlinks a pending event, reporting false when the event
+// is no longer in the heap (already fired or removed).
+func (e *Engine) heapRemove(ev *event) bool {
+	i := ev.index
+	if i < 0 || i >= len(e.events) || e.events[i] != ev {
+		return false
+	}
+	last := len(e.events) - 1
+	e.heapSwap(i, last)
+	e.events[last] = nil
+	e.events = e.events[:last]
+	ev.index = -1
+	if i < last {
+		e.heapDown(i)
+		e.heapUp(i)
+	}
+	return true
+}
+
+// heapFix restores heap order after ev.time changed in place.
+func (e *Engine) heapFix(ev *event) {
+	e.heapDown(ev.index)
+	e.heapUp(ev.index)
+}
+
+// newEvent takes an event struct off the freelist (or allocates one).
+func (e *Engine) newEvent() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle retires a fired or canceled event to the freelist. The gen
+// bump invalidates every Timer handle still pointing at it.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.proc = nil
+	ev.fn = nil
+	ev.index = -1
+	e.free = append(e.free, ev)
 }
 
 // NewEngine returns an engine with the clock at 0.
@@ -68,33 +172,85 @@ func NewEngine() *Engine {
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// schedule pushes an event at absolute time t.
-func (e *Engine) schedule(ev *event) *event {
-	if ev.time < e.now {
-		panic(fmt.Sprintf("des: scheduling into the past: t=%v now=%v", ev.time, e.now))
+// schedule books an event at absolute time t, resuming proc or running
+// fn (exactly one is non-nil).
+func (e *Engine) schedule(t float64, proc *Proc, fn func()) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling into the past: t=%v now=%v", t, e.now))
 	}
+	ev := e.newEvent()
+	ev.time = t
+	ev.proc = proc
+	ev.fn = fn
 	e.seq++
 	ev.seq = e.seq
-	heap.Push(&e.events, ev)
+	e.heapPush(ev)
 	return ev
 }
 
-// Timer identifies a cancelable callback event scheduled with At.
-type Timer struct{ ev *event }
+// Timer identifies a cancelable, reschedulable callback event booked
+// with At or After. The zero Timer and the nil Timer are inert: every
+// method is a no-op reporting false.
+type Timer struct {
+	eng *Engine
+	ev  *event
+	gen uint32
+}
 
-// Cancel prevents the callback from firing. Canceling an already-fired or
-// already-canceled timer is a no-op.
-func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
-		t.ev.canceled = true
+// pending reports whether the timer's event is still the one it booked
+// and still in the heap.
+func (t *Timer) pending() bool {
+	return t != nil && t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
+}
+
+// Pending reports whether the callback is still scheduled (not fired,
+// not canceled).
+func (t *Timer) Pending() bool { return t.pending() }
+
+// Cancel removes the callback from the event heap so it never fires,
+// reporting whether it was still pending. Canceling an already-fired
+// or already-canceled timer is a no-op returning false. The removal is
+// structural (O(log n)) — a canceled event costs nothing at dispatch
+// time and its memory is recycled immediately.
+func (t *Timer) Cancel() bool {
+	if !t.pending() {
+		return false
 	}
+	e := t.eng
+	ev := t.ev
+	if !e.heapRemove(ev) {
+		return false
+	}
+	e.recycle(ev)
+	return true
+}
+
+// Reschedule moves a still-pending callback to absolute time at
+// (>= Now) in place — an O(log n) heap fix, not a cancel-plus-At — and
+// reports whether the timer was pending. A fired or canceled timer is
+// left alone (false): re-arming it would resurrect an event whose
+// owner has moved on.
+func (t *Timer) Reschedule(at float64) bool {
+	if !t.pending() {
+		return false
+	}
+	e := t.eng
+	if at < e.now {
+		panic(fmt.Sprintf("des: rescheduling into the past: t=%v now=%v", at, e.now))
+	}
+	t.ev.time = at
+	e.seq++
+	t.ev.seq = e.seq // retimed event goes to the back of its new instant
+	e.heapFix(t.ev)
+	return true
 }
 
 // At schedules fn to run at absolute virtual time t (>= Now). fn runs in
 // engine context: it must not block, but may complete Futures, release
 // Resources and schedule further events.
 func (e *Engine) At(t float64, fn func()) *Timer {
-	return &Timer{ev: e.schedule(&event{time: t, fn: fn})}
+	ev := e.schedule(t, nil, fn)
+	return &Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds from now.
@@ -135,7 +291,7 @@ func (e *Engine) SpawnAt(t float64, name string, fn func(p *Proc)) *Proc {
 		e.nprocs--
 		e.ctl <- struct{}{} // termination counts as a yield
 	}()
-	e.schedule(&event{time: t, proc: p})
+	e.schedule(t, p, nil)
 	return p
 }
 
@@ -153,7 +309,7 @@ func (p *Proc) Wait(d float64) {
 	if d < 0 {
 		panic("des: negative Wait")
 	}
-	p.eng.schedule(&event{time: p.eng.now + d, proc: p})
+	p.eng.schedule(p.eng.now+d, p, nil)
 	p.yield()
 }
 
@@ -162,25 +318,29 @@ func (p *Proc) WaitUntil(t float64) {
 	if t < p.eng.now {
 		panic("des: WaitUntil into the past")
 	}
-	p.eng.schedule(&event{time: t, proc: p})
+	p.eng.schedule(t, p, nil)
 	p.yield()
 }
+
+// PendingEvents returns the number of scheduled events (diagnostics;
+// canceled timers are removed structurally, so they never count).
+func (e *Engine) PendingEvents() int { return len(e.events) }
 
 // Run executes events until the heap is empty. It returns the final clock
 // value. Run panics if processes remain blocked with no pending events
 // (a modeling deadlock).
 func (e *Engine) Run() float64 {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.canceled {
-			continue
-		}
+	for len(e.events) > 0 {
+		ev := e.heapPop()
 		e.now = ev.time
-		if ev.fn != nil {
-			ev.fn()
+		if fn := ev.fn; fn != nil {
+			e.recycle(ev)
+			fn()
 			continue
 		}
-		ev.proc.resume <- struct{}{}
+		proc := ev.proc
+		e.recycle(ev)
+		proc.resume <- struct{}{}
 		<-e.ctl
 	}
 	if e.nprocs > 0 {
@@ -210,7 +370,7 @@ func (f *Future) Complete() {
 	}
 	f.done = true
 	for _, w := range f.waiters {
-		f.eng.schedule(&event{time: f.eng.now, proc: w})
+		f.eng.schedule(f.eng.now, w, nil)
 	}
 	f.waiters = nil
 }
@@ -292,7 +452,7 @@ func (r *Resource) Release(n int) {
 		w := r.waiters[0]
 		r.waiters = r.waiters[1:]
 		r.take(w.n)
-		r.eng.schedule(&event{time: r.eng.now, proc: w.proc})
+		r.eng.schedule(r.eng.now, w.proc, nil)
 	}
 }
 
@@ -333,7 +493,7 @@ func (p *Proc) Arrive(b *Barrier) {
 		b.arrived = 0
 		b.gen++
 		for _, w := range b.waiters {
-			b.eng.schedule(&event{time: b.eng.now, proc: w})
+			b.eng.schedule(b.eng.now, w, nil)
 		}
 		b.waiters = nil
 		return

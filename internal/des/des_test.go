@@ -319,6 +319,142 @@ func TestManyProcessesScale(t *testing.T) {
 	}
 }
 
+// TestTimerReschedule checks that Reschedule reorders events in the
+// indexed heap: a timer moved earlier overtakes ones booked before it,
+// a timer moved later falls behind, and equal-time retimed events fire
+// after events already at that instant (retiming goes to the back).
+func TestTimerReschedule(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	mk := func(name string, at float64) *Timer {
+		return e.At(at, func() { order = append(order, name) })
+	}
+	a := mk("a", 10)
+	mk("b", 20)
+	c := mk("c", 30)
+	e.At(1, func() {
+		if !a.Reschedule(25) { // a: 10 → 25, now after b
+			t.Error("Reschedule(a) reported not pending")
+		}
+		if !c.Reschedule(5) { // c: 30 → 5, now first
+			t.Error("Reschedule(c) reported not pending")
+		}
+	})
+	e.Run()
+	want := []string{"c", "b", "a"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+// TestTimerRescheduleSameInstant pins the tie-break: a timer retimed
+// onto an occupied instant fires after the events already booked there.
+func TestTimerRescheduleSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	late := e.At(30, func() { order = append(order, "moved") })
+	e.At(10, func() { order = append(order, "resident") })
+	e.At(1, func() { late.Reschedule(10) })
+	e.Run()
+	if len(order) != 2 || order[0] != "resident" || order[1] != "moved" {
+		t.Fatalf("order = %v, want [resident moved]", order)
+	}
+}
+
+// TestTimerCancelLifecycle walks a timer's state machine: pending →
+// canceled is reported exactly once, and fired/canceled timers refuse
+// Cancel and Reschedule.
+func TestTimerCancelLifecycle(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.At(5, func() { fired = true })
+	e.At(1, func() {
+		if !tm.Pending() {
+			t.Error("timer not pending before cancel")
+		}
+		if !tm.Cancel() {
+			t.Error("first Cancel returned false")
+		}
+		if tm.Cancel() {
+			t.Error("second Cancel returned true")
+		}
+		if tm.Reschedule(9) {
+			t.Error("Reschedule on canceled timer returned true")
+		}
+		if tm.Pending() {
+			t.Error("timer still pending after cancel")
+		}
+	})
+	done := e.At(2, func() {})
+	e.Run()
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+	if done.Cancel() || done.Reschedule(99) || done.Pending() {
+		t.Fatal("fired timer accepted Cancel/Reschedule")
+	}
+	var nilTimer *Timer
+	if nilTimer.Cancel() || nilTimer.Pending() || (&Timer{}).Cancel() {
+		t.Fatal("nil/zero Timer not inert")
+	}
+}
+
+// TestTimerChurnOrdering stresses the indexed heap with a deterministic
+// cancel/reschedule churn and verifies every surviving event fires in
+// nondecreasing time order at its final booked time.
+func TestTimerChurnOrdering(t *testing.T) {
+	e := NewEngine()
+	const n = 500
+	type booked struct {
+		tm   *Timer
+		at   float64
+		dead bool
+	}
+	var (
+		evs      []*booked
+		firedAt  []float64
+		expected int
+	)
+	for i := 0; i < n; i++ {
+		at := float64(100 + (i*37)%400)
+		b := &booked{at: at}
+		b.tm = e.At(at, func() { firedAt = append(firedAt, e.Now()) })
+		evs = append(evs, b)
+	}
+	// Deterministic churn at t=1: cancel every third, retime every
+	// fifth survivor (pseudo-random but seed-free offsets).
+	e.At(1, func() {
+		for i, b := range evs {
+			switch {
+			case i%3 == 0:
+				b.tm.Cancel()
+				b.dead = true
+			case i%5 == 0:
+				at := float64(50 + (i*73)%500)
+				b.tm.Reschedule(at)
+				b.at = at
+			}
+		}
+	})
+	e.Run()
+	for _, b := range evs {
+		if !b.dead {
+			expected++
+		}
+	}
+	if len(firedAt) != expected {
+		t.Fatalf("fired %d events, want %d", len(firedAt), expected)
+	}
+	if !sort.Float64sAreSorted(firedAt) {
+		t.Fatal("churned events fired out of time order")
+	}
+}
+
 func BenchmarkEventThroughput(b *testing.B) {
 	e := NewEngine()
 	for i := 0; i < 100; i++ {
@@ -328,5 +464,54 @@ func BenchmarkEventThroughput(b *testing.B) {
 			}
 		})
 	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkTimerDispatch measures the engine's pure event dispatch:
+// closure events (no process handoff) booked and fired through the
+// indexed heap and event freelist.
+func BenchmarkTimerDispatch(b *testing.B) {
+	e := NewEngine()
+	fired := 0
+	e.Spawn("driver", func(p *Proc) {
+		var tick func()
+		tick = func() {
+			if fired++; fired < b.N {
+				e.At(e.Now()+1, tick)
+			}
+		}
+		e.At(e.Now()+1, tick)
+	})
+	b.ResetTimer()
+	e.Run()
+	if fired != b.N && b.N > 0 {
+		b.Fatalf("fired %d of %d", fired, b.N)
+	}
+}
+
+// BenchmarkTimerCancel measures the indexed heap's structural removal:
+// every booked timer is canceled before it can fire, the pattern a
+// timeout-heavy model generates. The tombstone-scan design this
+// replaced paid O(heap) on the next pop; the index makes each cancel
+// O(log n).
+func BenchmarkTimerCancel(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("driver", func(p *Proc) {
+		const live = 512 // keep a realistic heap depth under the churn
+		timers := make([]*Timer, 0, live)
+		for i := 0; i < b.N; i++ {
+			if len(timers) == live {
+				timers[i%live].Cancel()
+				timers[i%live] = e.At(e.Now()+float64(live+i%live), func() {})
+			} else {
+				timers = append(timers, e.At(e.Now()+float64(live+i), func() {}))
+			}
+		}
+		for _, t := range timers {
+			t.Cancel()
+		}
+	})
+	b.ResetTimer()
 	e.Run()
 }

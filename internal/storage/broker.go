@@ -198,15 +198,22 @@ func (b *Broker) now() float64 {
 // deduplicated, sorted. A nil/empty list means one unspecified slot
 // (target 0 under the exclusive policies).
 func (b *Broker) resolve(targets []int) []int {
+	return resolveTargets(targets, b.opts.Targets)
+}
+
+// resolveTargets is resolve's standalone form, shared with the sharded
+// broker (which must route by resolved target id before any shard's
+// lock is taken).
+func resolveTargets(targets []int, space int) []int {
 	if len(targets) == 0 {
 		return []int{0}
 	}
 	seen := map[int]bool{}
 	out := make([]int, 0, len(targets))
 	for _, t := range targets {
-		t %= b.opts.Targets
+		t %= space
 		if t < 0 {
-			t += b.opts.Targets
+			t += space
 		}
 		if !seen[t] {
 			seen[t] = true

@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestShardedBrokerFallbacks(t *testing.T) {
+	// Shard counts below two and PolicyGlobal get the plain broker.
+	if _, ok := NewShardedBroker(BrokerOptions{Targets: 8}, 1).(*Broker); !ok {
+		t.Fatal("shards=1 did not fall back to *Broker")
+	}
+	if _, ok := NewShardedBroker(BrokerOptions{Policy: PolicyGlobal, Targets: 8}, 4).(*Broker); !ok {
+		t.Fatal("PolicyGlobal did not fall back to *Broker")
+	}
+	// Shard count is clamped to the target space.
+	sb, ok := NewShardedBroker(BrokerOptions{Targets: 3}, 8).(*ShardedBroker)
+	if !ok || sb.Shards() != 3 {
+		t.Fatalf("shards not clamped to Targets: %T", sb)
+	}
+}
+
+func TestShardedBrokerPartition(t *testing.T) {
+	s := NewShardedBroker(BrokerOptions{Targets: 8}, 4).(*ShardedBroker)
+	// Targets resolve mod 8, then split by t mod 4 in ascending shard
+	// order with sorted per-shard lists.
+	parts := s.partition([]int{6, 1, 9, 5, 13})
+	// resolved: {1, 5, 6, 9%8=1, 13%8=5} → {1, 5, 6}; shards: 1→1, 5→1, 6→2.
+	if len(parts) != 2 {
+		t.Fatalf("got %d parts: %+v", len(parts), parts)
+	}
+	if parts[0].shard != 1 || len(parts[0].targets) != 2 ||
+		parts[0].targets[0] != 1 || parts[0].targets[1] != 5 {
+		t.Fatalf("part 0 = %+v", parts[0])
+	}
+	if parts[1].shard != 2 || len(parts[1].targets) != 1 || parts[1].targets[0] != 6 {
+		t.Fatalf("part 1 = %+v", parts[1])
+	}
+}
+
+// TestShardedBrokerExclusive verifies per-target mutual exclusion holds
+// across the shard split: many goroutines hammer the same target while
+// others write disjoint targets, and at most one holder may be inside
+// the critical section per target at any instant.
+func TestShardedBrokerExclusive(t *testing.T) {
+	const (
+		targets = 8
+		workers = 4 // per target
+		rounds  = 200
+	)
+	b := NewShardedBroker(BrokerOptions{Policy: PolicyPerTarget, Targets: targets}, 4)
+	var inside [targets]atomic.Int32
+	var wg sync.WaitGroup
+	for tg := 0; tg < targets; tg++ {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(tg, holder int) {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					g := b.Acquire(TokenRequest{Holder: holder, Targets: []int{tg}})
+					if g.Denied {
+						t.Errorf("unexpected denial for target %d", tg)
+						return
+					}
+					if n := inside[tg].Add(1); n != 1 {
+						t.Errorf("target %d: %d concurrent holders", tg, n)
+					}
+					inside[tg].Add(-1)
+					g.Release()
+				}
+			}(tg, tg*workers+w)
+		}
+	}
+	wg.Wait()
+	if got := b.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding() = %d after all releases", got)
+	}
+	st := b.Stats()
+	if st.Grants != targets*workers*rounds {
+		t.Fatalf("Grants = %d, want %d", st.Grants, targets*workers*rounds)
+	}
+}
+
+// TestShardedBrokerSpanning checks a request whose targets straddle
+// shards: it is atomic (holds every target), and exclusivity against
+// single-shard writers on each side still holds.
+func TestShardedBrokerSpanning(t *testing.T) {
+	const rounds = 300
+	b := NewShardedBroker(BrokerOptions{Policy: PolicyPerTarget, Targets: 4}, 4)
+	var t1, t3 atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // spanning writer: shards 1 and 3
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			g := b.Acquire(TokenRequest{Holder: 100, Targets: []int{1, 3}})
+			if a, c := t1.Add(1), t3.Add(1); a != 1 || c != 1 {
+				t.Errorf("spanning grant not exclusive: %d %d", a, c)
+			}
+			t1.Add(-1)
+			t3.Add(-1)
+			g.Release()
+		}
+	}()
+	for _, tg := range []int{1, 3} {
+		ctr := &t1
+		if tg == 3 {
+			ctr = &t3
+		}
+		go func(tg int, ctr *atomic.Int32) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				g := b.Acquire(TokenRequest{Holder: tg, Targets: []int{tg}})
+				if n := ctr.Add(1); n != 1 {
+					t.Errorf("target %d: %d concurrent holders", tg, n)
+				}
+				ctr.Add(-1)
+				g.Release()
+			}
+		}(tg, ctr)
+	}
+	wg.Wait()
+	if got := b.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding() = %d after all releases", got)
+	}
+}
+
+// TestShardedBrokerReleaseHolderRollback kills a holder that is queued
+// behind a busy shard mid-spanning-acquisition: the denial must roll
+// back the shard grants it already held, leaving no token stranded.
+func TestShardedBrokerReleaseHolderRollback(t *testing.T) {
+	b := NewShardedBroker(BrokerOptions{Policy: PolicyPerTarget, Targets: 4}, 4)
+
+	// Occupy target 2 so the spanning request (0 then 2) takes shard 0
+	// and then queues on shard 2.
+	blocker := b.Acquire(TokenRequest{Holder: 1, Targets: []int{2}})
+
+	done := make(chan TokenGrant)
+	go func() {
+		done <- b.Acquire(TokenRequest{Holder: 9, Targets: []int{0, 2}})
+	}()
+
+	// Wait until the spanning writer holds target 0 and is queued on
+	// shard 2 (in-package test: peek at the shard's queue directly —
+	// Outstanding alone cannot distinguish "granted shard 0" from
+	// "granted shard 0 and queued on shard 2").
+	shard2 := b.(*ShardedBroker).shards[2]
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Outstanding() != 2 || shard2.QueueLen() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("spanning writer never reached the queued state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Kill holder 9: its queued request on shard 2 is canceled, and the
+	// rollback must free target 0 too.
+	b.ReleaseHolder(9)
+	g := <-done
+	if !g.Denied {
+		t.Fatal("killed holder's acquire was not denied")
+	}
+	g.Release() // no-op on a denied grant
+	blocker.Release()
+	if got := b.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding() = %d after rollback, want 0", got)
+	}
+
+	// The freed targets must be acquirable again, immediately.
+	g0 := b.Acquire(TokenRequest{Holder: 2, Targets: []int{0}})
+	g2 := b.Acquire(TokenRequest{Holder: 2, Targets: []int{2}})
+	if g0.Denied || g2.Denied {
+		t.Fatal("targets stranded after rollback")
+	}
+	g0.Release()
+	g2.Release()
+
+	st := b.Stats()
+	if st.CanceledRequests == 0 {
+		t.Fatal("cancellation not visible in merged stats")
+	}
+}

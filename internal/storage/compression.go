@@ -2,9 +2,11 @@ package storage
 
 import (
 	"fmt"
+	"math"
 	"regexp"
 	"sync"
 
+	"repro/internal/buf"
 	"repro/internal/compress"
 	"repro/internal/des"
 )
@@ -244,11 +246,15 @@ func (c *Compressing) score(codec string, encLen int, rawLen float64) float64 {
 }
 
 // chooseFor resolves the codec name for one object, consulting and
-// filling the per-dataset cache in adaptive mode. Only the codec is
-// cached — the element width is re-derived per payload, because later
-// objects of the same dataset can have different sizes (a partial
-// batch after a failure shrinks the root object). Callers hold c.mu.
-func (c *Compressing) chooseFor(name string, data []byte) (string, error) {
+// filling the per-dataset cache in adaptive mode. sample is a
+// contiguous prefix of the payload (the scatter-gather path hands in
+// only that much; Put hands in the whole object) and total is the full
+// payload length, which drives the element-width heuristic. Only the
+// codec is cached — the element width is re-derived per payload,
+// because later objects of the same dataset can have different sizes
+// (a partial batch after a failure shrinks the root object). Callers
+// hold c.mu.
+func (c *Compressing) chooseFor(name string, sample []byte, total int) (string, error) {
 	if c.opts.Codec != AdaptiveCodec {
 		if _, err := compress.ByName(c.opts.Codec); err != nil {
 			return "", err
@@ -259,11 +265,12 @@ func (c *Compressing) chooseFor(name string, data []byte) (string, error) {
 	if codec, ok := c.choice[key]; ok {
 		return codec, nil
 	}
-	elem := c.opts.elemSizeFor(len(data))
-	sample := data
+	elem := c.opts.elemSizeFor(total)
 	if len(sample) > c.opts.SampleBytes {
-		n := c.opts.SampleBytes - c.opts.SampleBytes%elem
-		sample = sample[:n]
+		sample = sample[:c.opts.SampleBytes]
+	}
+	if n := len(sample) - len(sample)%elem; n != len(sample) {
+		sample = sample[:n] // element-structured codecs need whole elements
 	}
 	best := "none"
 	bestScore := c.score("none", len(sample), float64(len(sample)))
@@ -321,7 +328,7 @@ func (c *Compressing) chargeDecode(p CodecProfile, n float64) float64 {
 // per-dataset choice never makes a later Put fail.
 func (c *Compressing) Put(name string, data []byte) error {
 	c.mu.Lock()
-	used, err := c.chooseFor(name, data)
+	used, err := c.chooseFor(name, data, len(data))
 	c.mu.Unlock()
 	if err != nil {
 		return err
@@ -345,13 +352,84 @@ func (c *Compressing) Put(name string, data []byte) error {
 	if err := c.Backend.Put(name, framed); err != nil {
 		return err
 	}
-	info := CodecInfo{
-		Codec:        used,
-		RawBytes:     int64(len(data)),
-		EncodedBytes: int64(len(framed) - frameHeaderLen(used)),
-	}
+	c.recordPut(name, used, int64(len(data)), int64(len(framed)-frameHeaderLen(used)))
+	return nil
+}
+
+// PutVec implements VecStore: the compression pipeline's share of the
+// zero-copy aggregation path. The codec choice runs on a contiguous
+// sample prefix (no flatten needed to decide). When the choice is
+// "none" — incompressible data, or the framed form would not pay — the
+// frame header goes out as its own leading segment and the payload
+// segments pass through to the inner backend untouched: the whole
+// write moves headers, not payloads. Only a payload that actually
+// compresses is gathered into one buffer for the codec.
+func (c *Compressing) PutVec(name string, segs [][]byte) error {
+	total := SegsLen(segs)
+	sample, free := sampleFromSegs(segs, c.opts.SampleBytes)
 	c.mu.Lock()
-	c.chargeEncode(defaultProfiles[used], float64(len(data)))
+	used, err := c.chooseFor(name, sample, total)
+	c.mu.Unlock()
+	free()
+	if err != nil {
+		return err
+	}
+	if used != "none" {
+		flat := FlattenSegs(segs)
+		framed, ferr := EncodeFrame(used, flat, c.opts.elemSizeFor(total))
+		if ferr == nil && len(framed) < total {
+			if err := c.Backend.Put(name, framed); err != nil {
+				return err
+			}
+			c.recordPut(name, used, int64(total), int64(len(framed)-frameHeaderLen(used)))
+			return nil
+		}
+		// Capability mismatch with this payload, or the encoding does
+		// not pay: fall through to the pass-through frame.
+		used = "none"
+	}
+	if int64(total) > math.MaxUint32 {
+		return fmt.Errorf("storage: %d-byte payload exceeds the 4 GiB frame limit", total)
+	}
+	vec := make([][]byte, 0, len(segs)+1)
+	vec = append(vec, appendFrameHeader(make([]byte, 0, frameHeaderLen("none")), "none", total, 1))
+	vec = append(vec, segs...)
+	if err := PutVec(c.Backend, name, vec); err != nil {
+		return err
+	}
+	c.recordPut(name, "none", int64(total), int64(total))
+	return nil
+}
+
+// sampleFromSegs returns a contiguous prefix of up to limit payload
+// bytes for the codec selector, avoiding a copy when the first segment
+// alone covers it. free returns the scratch buffer (if any) to the
+// buffer pool.
+func sampleFromSegs(segs [][]byte, limit int) (sample []byte, free func()) {
+	total := SegsLen(segs)
+	if total < limit {
+		limit = total
+	}
+	if len(segs) > 0 && len(segs[0]) >= limit {
+		return segs[0][:limit], func() {}
+	}
+	s := buf.Get(limit)
+	n := 0
+	for _, seg := range segs {
+		if n == limit {
+			break
+		}
+		n += copy(s[n:], seg)
+	}
+	return s[:n], func() { buf.Put(s) }
+}
+
+// recordPut accounts one stored object: codec CPU, the per-object
+// codec info manifests embed, and the per-codec ledger.
+func (c *Compressing) recordPut(name, used string, rawBytes, encBytes int64) {
+	info := CodecInfo{Codec: used, RawBytes: rawBytes, EncodedBytes: encBytes}
+	c.mu.Lock()
+	c.chargeEncode(defaultProfiles[used], float64(rawBytes))
 	c.info[name] = info
 	c.objects++
 	c.rawBytes += info.RawBytes
@@ -362,7 +440,6 @@ func (c *Compressing) Put(name string, data []byte) error {
 	pc.EncodedBytes += info.EncodedBytes
 	c.perCodec[used] = pc
 	c.mu.Unlock()
-	return nil
 }
 
 // frameHeaderLen is the frame envelope size for a codec name.

@@ -117,12 +117,23 @@ func EncodeFrame(codecName string, raw []byte, elemSize int) ([]byte, error) {
 		return nil, fmt.Errorf("storage: codec name %q too long to frame", name)
 	}
 	out := make([]byte, 0, len(frameMagic)+1+len(name)+8+len(enc))
-	out = append(out, frameMagic...)
-	out = append(out, byte(len(name)))
-	out = append(out, name...)
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(raw)))
-	out = binary.LittleEndian.AppendUint32(out, uint32(elemSize))
+	out = appendFrameHeader(out, name, len(raw), elemSize)
 	return append(out, enc...), nil
+}
+
+// appendFrameHeader appends the frame envelope header — magic, codec
+// name, raw size, element size — to dst. It is the one place the
+// header layout is written, shared by EncodeFrame and the
+// scatter-gather path (which sends the header as its own segment ahead
+// of the payload segments instead of copying payloads into one
+// buffer). The caller has validated name length, raw size and element
+// size.
+func appendFrameHeader(dst []byte, name string, rawSize, elemSize int) []byte {
+	dst = append(dst, frameMagic...)
+	dst = append(dst, byte(len(name)))
+	dst = append(dst, name...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(rawSize))
+	return binary.LittleEndian.AppendUint32(dst, uint32(elemSize))
 }
 
 // ParseFrameHeader splits a framed object into its header and encoded

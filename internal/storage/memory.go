@@ -246,16 +246,24 @@ func (b *Memory) PlaceFile(stripes int, r *rng.Stream) []int {
 
 // Put implements ObjectStore: the object is kept in memory.
 func (b *Memory) Put(name string, data []byte) error {
+	return b.PutVec(name, [][]byte{data})
+}
+
+// PutVec implements VecStore: the segments are gathered with a single
+// copy into the one buffer the store keeps — the backend's share of
+// the zero-copy aggregation path (callers never pre-flatten).
+func (b *Memory) PutVec(name string, segs [][]byte) error {
 	if name == "" {
 		return fmt.Errorf("storage: empty object name")
 	}
+	obj := FlattenSegs(segs)
 	b.omu.Lock()
 	defer b.omu.Unlock()
 	if old, ok := b.objects[name]; ok {
 		b.objByte -= int64(len(old))
 	}
-	b.objects[name] = append([]byte(nil), data...)
-	b.objByte += int64(len(data))
+	b.objects[name] = obj
+	b.objByte += int64(len(obj))
 	return nil
 }
 

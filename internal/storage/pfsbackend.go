@@ -92,6 +92,17 @@ func (b *PFS) PlaceFile(stripes int, r *rng.Stream) []int {
 // Put implements ObjectStore. The DES model stores no payloads, so the
 // object's name and size are accounted and the bytes dropped.
 func (b *PFS) Put(name string, data []byte) error {
+	return b.putSized(name, int64(len(data)))
+}
+
+// PutVec implements VecStore: the pure cost model never touches the
+// payload, so a scatter-gather write is accounted from the segment
+// lengths alone — the fully zero-copy case.
+func (b *PFS) PutVec(name string, segs [][]byte) error {
+	return b.putSized(name, int64(SegsLen(segs)))
+}
+
+func (b *PFS) putSized(name string, size int64) error {
 	if name == "" {
 		return fmt.Errorf("storage: empty object name")
 	}
@@ -100,8 +111,8 @@ func (b *PFS) Put(name string, data []byte) error {
 	if old, ok := b.objSize[name]; ok {
 		b.objByte -= old
 	}
-	b.objSize[name] = int64(len(data))
-	b.objByte += int64(len(data))
+	b.objSize[name] = size
+	b.objByte += size
 	return nil
 }
 

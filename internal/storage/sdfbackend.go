@@ -108,6 +108,14 @@ func (b *SDF) PlaceFile(stripes int, r *rng.Stream) []int {
 	return placeUniform(b.targetCount(), stripes, r)
 }
 
+// PutVec implements VecStore. The SDF container needs one contiguous
+// dataset, so the segments are gathered once here — the same single
+// copy a pre-flattened Put would have paid, kept inside the backend so
+// scatter-gather callers need no special case.
+func (b *SDF) PutVec(name string, segs [][]byte) error {
+	return b.Put(name, FlattenSegs(segs))
+}
+
 // Put implements ObjectStore: the object becomes one SDF file.
 // Overwriting an existing name replaces the object (accounted once,
 // like Memory.Put); two distinct names that flatten to the same file

@@ -161,6 +161,51 @@ type ObjectReader interface {
 	List(prefix string) ([]string, error)
 }
 
+// VecStore is the scatter-gather write face: store one object whose
+// bytes arrive as an iovec-style segment list. Implementations must
+// treat the concatenation of segs as the object's bytes and must own
+// their copy by the time PutVec returns — callers are free to recycle
+// the segment buffers immediately afterwards. All built-in backends
+// (and the Compressing wrapper) implement it; callers should go
+// through the PutVec helper, which falls back to flattening for plain
+// ObjectStores.
+type VecStore interface {
+	// PutVec durably stores the concatenation of segs under name.
+	// Implementations must be safe for concurrent use.
+	PutVec(name string, segs [][]byte) error
+}
+
+// PutVec writes a scatter-gather segment list as one object: through
+// the store's VecStore face when it has one (zero or one copy,
+// depending on the backend), or by flattening into a single buffer for
+// a plain ObjectStore. Either way the store owns its bytes when PutVec
+// returns, so callers may recycle the segment buffers.
+func PutVec(store ObjectStore, name string, segs [][]byte) error {
+	if vs, ok := store.(VecStore); ok {
+		return vs.PutVec(name, segs)
+	}
+	return store.Put(name, FlattenSegs(segs))
+}
+
+// SegsLen returns the total byte length of a segment list.
+func SegsLen(segs [][]byte) int {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	return n
+}
+
+// FlattenSegs concatenates a segment list into one freshly allocated
+// buffer (the scatter-gather fallback for contiguous consumers).
+func FlattenSegs(segs [][]byte) []byte {
+	out := make([]byte, 0, SegsLen(segs))
+	for _, s := range segs {
+		out = append(out, s...)
+	}
+	return out
+}
+
 // Backend is a storage target: simulated operations that charge virtual
 // time on a des.Proc, a real object path, and cost accounting.
 type Backend interface {
