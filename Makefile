@@ -29,8 +29,8 @@ PPROF_PKG ?= .
 
 .PHONY: build test vet fmt fmt-check bench bench-json bench-compare \
 	pprof-cpu pprof-alloc cover-check tidy-check \
-	failure-race failure-smoke restart-smoke c1-smoke fuzz-smoke lint docs-check \
-	smoke-e1 smoke-e6 smoke-e6-cross smoke-f1 smoke-r1 smoke-c1 ci
+	failure-race service-race failure-smoke restart-smoke c1-smoke fuzz-smoke lint docs-check \
+	smoke-e1 smoke-e6 smoke-e6-cross smoke-f1 smoke-r1 smoke-c1 smoke-e9 ci
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,12 @@ test:
 # covered by `test`, kept separate so CI reports them distinctly).
 failure-race:
 	$(GO) test -race -run 'Failure|Reroute|Partial|Tree' ./internal/cluster ./internal/iostrat
+
+# Focused race-detector pass over the multi-tenant service: concurrent
+# admission, the 4-tenant smoke, shared-broker accounting, eviction.
+# (internal/cluster's service files also sit under cover-check's floor.)
+service-race:
+	$(GO) test -race -run 'Service' ./internal/cluster ./internal/iostrat
 
 # Experiment smoke matrix — one target per experiment so a broken
 # experiment names itself in the CI job list (ci.yml fans these out via
@@ -56,6 +62,11 @@ smoke-e6:
 # cluster-wide token sweep (DES + runtime faces).
 smoke-e6-cross:
 	$(GO) run ./cmd/damaris-bench -quick -exp e6 -sched cluster-token
+
+# E9 multi-tenant admission at smoke scale: the full tenancy × arrival
+# × policy sweep including the EDF-beats-FIFO tail check.
+smoke-e9:
+	$(GO) run ./cmd/damaris-bench -quick -exp e9
 
 smoke-f1: failure-smoke
 
@@ -168,5 +179,5 @@ cover-check:
 tidy-check:
 	$(GO) mod tidy -diff
 
-ci: build vet fmt-check tidy-check docs-check test failure-race cover-check bench \
-	smoke-e1 smoke-e6 smoke-e6-cross smoke-f1 smoke-r1 smoke-c1 fuzz-smoke
+ci: build vet fmt-check tidy-check docs-check test failure-race service-race cover-check bench \
+	smoke-e1 smoke-e6 smoke-e6-cross smoke-f1 smoke-r1 smoke-c1 smoke-e9 fuzz-smoke

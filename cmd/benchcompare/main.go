@@ -16,8 +16,10 @@
 // in only one artifact are listed but never fail the run: renames and
 // new benchmarks must not wedge CI.
 //
-// A missing -old file exits 0 with a notice — the first run of a fresh
-// repository has no previous artifact to compare against.
+// A missing or unparseable -old file exits 0 with a notice — the first
+// run of a fresh repository has no previous artifact to compare
+// against, and a corrupt baseline is no better than none. Only a bad
+// -new artifact is an error: that one this run just produced.
 package main
 
 import (
@@ -65,14 +67,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	old, err := load(*oldPath)
-	if os.IsNotExist(err) {
-		fmt.Printf("benchcompare: no previous artifact at %s — nothing to compare (first run)\n", *oldPath)
+	old, notice := loadBaseline(*oldPath)
+	if notice != "" {
+		fmt.Printf("benchcompare: %s\n", notice)
 		return
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
-		os.Exit(2)
 	}
 	cur, err := load(*newPath)
 	if err != nil {
@@ -92,6 +90,24 @@ func main() {
 	}
 	fmt.Printf("benchcompare: %d benchmark(s) compared, none regressed beyond %.0f%%\n",
 		len(deltas), *threshold*100)
+}
+
+// loadBaseline loads the -old artifact, degrading a missing or
+// unusable baseline to an informational notice. A fresh repository has
+// no baseline, and a corrupt one (truncated upload, interrupted
+// producer) is no better than none: either way the first gated run
+// must not wedge CI — only the -new artifact's problems are this run's
+// problems.
+func loadBaseline(path string) (*Document, string) {
+	doc, err := load(path)
+	switch {
+	case err == nil:
+		return doc, ""
+	case os.IsNotExist(err):
+		return nil, fmt.Sprintf("no previous artifact at %s — nothing to compare (first run)", path)
+	default:
+		return nil, fmt.Sprintf("baseline %s is unusable (%v) — treating as first run", path, err)
+	}
 }
 
 func load(path string) (*Document, error) {

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func doc(benchmarks ...Benchmark) *Document { return &Document{Benchmarks: benchmarks} }
 
@@ -101,5 +106,36 @@ func TestCompareSkipsNonPositiveValues(t *testing.T) {
 	deltas, _, _ := compare(old, cur)
 	if len(deltas) != 0 {
 		t.Fatalf("non-positive/missing values produced deltas: %+v", deltas)
+	}
+}
+
+func TestLoadBaselineDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+
+	// A valid baseline loads with no notice.
+	valid := filepath.Join(dir, "ok.json")
+	if err := os.WriteFile(valid, []byte(`{"benchmarks":[{"pkg":"p","name":"B","metrics":{"ns/op":5}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc, notice := loadBaseline(valid)
+	if notice != "" || doc == nil || len(doc.Benchmarks) != 1 {
+		t.Fatalf("valid baseline: doc=%+v notice=%q", doc, notice)
+	}
+
+	// A missing baseline is the first-run case.
+	doc, notice = loadBaseline(filepath.Join(dir, "missing.json"))
+	if doc != nil || !strings.Contains(notice, "first run") {
+		t.Fatalf("missing baseline: doc=%v notice=%q", doc, notice)
+	}
+
+	// A corrupt baseline (truncated upload) must degrade to the same
+	// informational path, never an error exit that wedges CI.
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte(`{"benchmarks":[{"pkg":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc, notice = loadBaseline(corrupt)
+	if doc != nil || !strings.Contains(notice, "unusable") {
+		t.Fatalf("corrupt baseline: doc=%v notice=%q", doc, notice)
 	}
 }

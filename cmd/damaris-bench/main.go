@@ -30,6 +30,12 @@
 //	damaris-bench -exp r1 -backend sdf -codec adaptive -backend-dir out/ckpt
 //	                                               # compressed store, framed objects
 //	damaris-bench -restart-from out/ckpt/fail0     # replays compressed stores too
+//
+// Multi-tenant admission (experiment E9 and cluster.Service):
+//
+//	damaris-bench -exp e9                          # tenancy × arrival × admission sweep
+//	damaris-bench -exp e9 -tenants 48 -arrival 0.1 -admission deadline
+//	                                               # pin one sweep point
 package main
 
 import (
@@ -50,7 +56,7 @@ import (
 
 func main() {
 	var (
-		expList     = flag.String("exp", "all", "comma-separated experiment ids (e1..e8,a1,a2,f1,r1,c1) or 'all'")
+		expList     = flag.String("exp", "all", "comma-separated experiment ids (e1..e9,a1,a2,f1,r1,c1) or 'all'")
 		quick       = flag.Bool("quick", false, "reduced scale for a fast smoke run")
 		seed        = flag.Uint64("seed", 2013, "root seed for all stochastic inputs")
 		iters       = flag.Int("iters", 0, "output phases per run (0 = default)")
@@ -65,6 +71,9 @@ func main() {
 		codec       = flag.String("codec", "", "storage compression pipeline: none, rle, delta, gorilla, flate, or adaptive")
 		sched       = flag.String("sched", "", "dedicated-core write scheduling: none, ost-token, global-token, or cluster-token (E6: cluster-token restricts to the cross-root sweep)")
 		restartFrom = flag.String("restart-from", "", "restore a stored run from an sdf object-store directory, report what is recoverable, and exit")
+		tenants     = flag.Int("tenants", 0, "E9: tenant jobs per sweep point (0 = default 24)")
+		arrival     = flag.Float64("arrival", 0, "E9: job arrival rate in jobs/s (0 = sweep light and heavy)")
+		admission   = flag.String("admission", "", "E9: pin the admission policy (fifo, deadline, reject, degrade; empty sweeps all)")
 	)
 	flag.Parse()
 
@@ -102,6 +111,15 @@ func main() {
 			os.Exit(2)
 		}
 		opts.Scheduling = iostrat.Scheduling(*sched)
+	}
+	opts.Tenants = *tenants
+	opts.ArrivalRate = *arrival
+	if *admission != "" {
+		if err := cluster.ValidateAdmissionPolicy(cluster.AdmissionPolicy(*admission)); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -admission: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Admission = cluster.AdmissionPolicy(*admission)
 	}
 	if *failNodes != "" {
 		for _, part := range strings.Split(*failNodes, ",") {
@@ -152,6 +170,7 @@ func main() {
 		{"f1", experiments.RunF1},
 		{"r1", experiments.RunR1},
 		{"c1", experiments.RunC1},
+		{"e9", experiments.RunE9},
 	}
 
 	failures := 0

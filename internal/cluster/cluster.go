@@ -2,15 +2,12 @@ package cluster
 
 import (
 	"fmt"
-	"log"
 	"sort"
 	"sync"
 
 	"repro/internal/buf"
 	"repro/internal/core"
-	"repro/internal/meta"
 	"repro/internal/storage"
-	"repro/internal/topology"
 )
 
 // Hook is a cluster-wide end-of-iteration plugin: it runs at a tree
@@ -39,58 +36,6 @@ func (h HookFunc) Name() string { return h.HookName }
 
 // OnIteration implements Hook.
 func (h HookFunc) OnIteration(it int, b *Batch) error { return h.Fn(it, b) }
-
-// Config describes a cluster run.
-type Config struct {
-	// Platform sizes the cluster: Nodes core.Node instances with
-	// CoresPerNode-DedicatedPerNode simulation clients each.
-	Platform topology.Platform
-	// Meta is the per-node Damaris XML configuration.
-	Meta *meta.Config
-	// DedicatedPerNode is the number of cores per node devoted to data
-	// management (default 1).
-	DedicatedPerNode int
-	// Fanout is the children-per-node limit of the aggregation trees
-	// (default 2).
-	Fanout int
-	// Roots is the number of aggregation trees; each root writes its
-	// subtree's merged iterations (default 1).
-	Roots int
-	// Store receives the root objects; any storage.Backend works.
-	Store storage.ObjectStore
-	// Broker, when non-nil, arbitrates root object writes across every
-	// aggregation tree of the run: a root acquires a write token for
-	// its storage target before each Put and releases it after, so
-	// roots on different trees do not hit the same target at once.
-	// One broker serves the whole run — cluster-wide scheduling, the
-	// runtime face of iostrat.SchedClusterToken. A node killed by the
-	// failure schedule has its tokens freed and queued requests
-	// canceled (see killNode).
-	Broker storage.TokenBroker
-	// BrokerStripes is how many broker targets each root's write
-	// claims (default 1): the runtime mirror of the DES stripe window.
-	BrokerStripes int
-	// DisableManifests turns off the per-iteration manifest objects
-	// roots write alongside their data objects. Manifests are what
-	// Restore navigates by, so disable them only for runs that will
-	// never be replayed (or for tests counting raw store objects).
-	DisableManifests bool
-	// JobName prefixes object names (default Meta.Name).
-	JobName string
-	// OutputDir is passed to each node for its local plugins.
-	OutputDir string
-	// Logger defaults to a silent logger.
-	Logger *log.Logger
-	// Hooks run at tree roots on every merged iteration.
-	Hooks []Hook
-	// Failures schedules node deaths (nil or empty: no failures). When
-	// a node's dedicated core reaches its scheduled iteration the node
-	// is killed: its own blocks from that iteration on are lost, its
-	// children re-route to its parent (or a promoted sibling when a
-	// root dies), and its in-flight merges drain toward the re-route
-	// target — see the package comment for the full semantics.
-	Failures *FailureSchedule
-}
 
 // Stats aggregates what the cluster measured.
 type Stats struct {
@@ -127,31 +72,63 @@ type Stats struct {
 	// whose blocks reached a stored root object for that iteration
 	// (1.0 for every iteration when nothing fails or straggles).
 	Completeness map[int]float64
+	// QuotaDroppedObjects counts root objects skipped because storing
+	// them would cross the tenant's Quota.MaxBytes — the skip policy
+	// applied to budget rather than time.
+	QuotaDroppedObjects int
 
-	// Token-broker counters, populated only when Config.Broker is set.
+	// Token-broker counters, populated only when the run has a broker.
+	// On a broker shared across tenants, every counter below is THIS
+	// tenant's slice (grants are holder-tagged; see ClusterConfig.Broker).
 
 	// TokenWaitTime is the total wall-clock seconds roots spent waiting
 	// for a write token; TokenGrants counts tokens granted.
 	TokenWaitTime float64
 	TokenGrants   int
-	// RootTokenWait splits TokenWaitTime per root node id, and
-	// RootContention counts each root's grants that had to queue behind
-	// another tree's root — the cross-root interference the broker
-	// absorbed.
+	// RootTokenWait splits TokenWaitTime per (tenant-local) root node
+	// id, and RootContention counts each root's grants that had to
+	// queue behind another root — same-tenant or cross-tenant — the
+	// interference the broker absorbed.
 	RootTokenWait  map[int]float64
 	RootContention map[int]int
 	// TokensReclaimed counts tokens (held or queued) freed because
-	// their holder was killed by the failure schedule.
+	// their holder was killed by the failure schedule or evicted.
 	TokensReclaimed int
 }
 
+// add accumulates another tenant's counters into s (map fields are
+// summed key-wise; Completeness keys collide only within one tenant, so
+// the union is taken). Used by ServiceStats rollups.
+func (s *Stats) add(o Stats) {
+	s.BatchesForwarded += o.BatchesForwarded
+	s.BytesForwarded += o.BytesForwarded
+	s.ObjectsWritten += o.ObjectsWritten
+	s.ObjectBytes += o.ObjectBytes
+	s.ManifestsWritten += o.ManifestsWritten
+	s.IterationsCompleted += o.IterationsCompleted
+	s.PartialIterations += o.PartialIterations
+	s.NodesFailed += o.NodesFailed
+	s.BlocksLost += o.BlocksLost
+	s.ReroutedEdges += o.ReroutedEdges
+	s.QuotaDroppedObjects += o.QuotaDroppedObjects
+	s.TokenWaitTime += o.TokenWaitTime
+	s.TokenGrants += o.TokenGrants
+	s.TokensReclaimed += o.TokensReclaimed
+}
+
 // Cluster is a multi-node Damaris deployment: N per-node middleware
-// instances plus the cross-node aggregation layer.
+// instances plus the cross-node aggregation layer. It is one tenant's
+// view of the machine — under a Service, several Clusters share the
+// ClusterConfig's store and broker, each tagging broker requests with
+// its own tenant id and holder span.
 type Cluster struct {
-	cfg   Config
-	nodes []*core.Node
-	aggs  []*aggregator
-	wg    sync.WaitGroup
+	cc         ClusterConfig
+	spec       RunSpec
+	tenant     int // tenant id on the shared broker (0 standalone)
+	holderBase int // first broker holder id of this tenant's span
+	nodes      []*core.Node
+	aggs       []*aggregator
+	wg         sync.WaitGroup
 
 	// mu guards the tree (failures re-route it mid-run), the stats and
 	// the exited flags. Each aggregator's mailbox has its own lock
@@ -174,51 +151,51 @@ type Cluster struct {
 	iterDone  *sync.Cond
 }
 
-// New builds and starts the cluster: every node's shared-memory
-// runtime, the forwarding plugin on each dedicated core, and one
-// aggregator per node.
+// New builds and starts a standalone single-tenant cluster: every
+// node's shared-memory runtime, the forwarding plugin on each dedicated
+// core, and one aggregator per node. It is Config split into its two
+// halves and handed to newTenantCluster as tenant 0.
 func New(cfg Config) (*Cluster, error) {
-	if cfg.Platform.Nodes <= 0 {
-		return nil, fmt.Errorf("cluster: platform has %d nodes", cfg.Platform.Nodes)
+	cc, spec := cfg.split()
+	return newTenantCluster(cc, spec, 0)
+}
+
+// newTenantCluster builds and starts one tenant's cluster on the given
+// substrate. The tenant id selects the holder span its broker requests
+// are tagged with; a standalone run is tenant 0, whose span starts at
+// holder 0 so broker holder ids equal node ids as before.
+func newTenantCluster(cc ClusterConfig, spec RunSpec, tenant int) (*Cluster, error) {
+	cc = cc.withDefaults()
+	spec = spec.withDefaults()
+	if cc.Platform.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: platform has %d nodes", cc.Platform.Nodes)
 	}
-	if cfg.Meta == nil {
-		return nil, fmt.Errorf("cluster: nil meta config")
+	if err := spec.validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Store == nil {
+	if cc.Store == nil {
 		return nil, fmt.Errorf("cluster: nil object store")
 	}
-	if cfg.DedicatedPerNode <= 0 {
-		cfg.DedicatedPerNode = 1
-	}
-	clients := cfg.Platform.CoresPerNode - cfg.DedicatedPerNode
+	clients := cc.Platform.CoresPerNode - cc.DedicatedPerNode
 	if clients <= 0 {
 		return nil, fmt.Errorf("cluster: %d cores/node leaves no simulation cores",
-			cfg.Platform.CoresPerNode)
-	}
-	if cfg.Fanout <= 0 {
-		cfg.Fanout = 2
-	}
-	if cfg.Roots <= 0 {
-		cfg.Roots = 1
-	}
-	if cfg.JobName == "" {
-		cfg.JobName = cfg.Meta.Name
-	}
-	if cfg.Logger == nil {
-		cfg.Logger = log.New(nullWriter{}, "", 0)
+			cc.Platform.CoresPerNode)
 	}
 
 	c := &Cluster{
-		cfg:       cfg,
-		tree:      NewTree(cfg.Platform.Nodes, cfg.Fanout, cfg.Roots),
-		nodes:     make([]*core.Node, cfg.Platform.Nodes),
-		aggs:      make([]*aggregator, cfg.Platform.Nodes),
-		covered:   map[int]int{},
-		partials:  map[int]bool{},
-		completed: map[int]bool{},
-		failed:    make([]bool, cfg.Platform.Nodes),
-		exited:    make([]bool, cfg.Platform.Nodes),
-		doneRoots: map[int]int{},
+		cc:         cc,
+		spec:       spec,
+		tenant:     tenant,
+		holderBase: tenantHolderBase(tenant),
+		tree:       NewTree(cc.Platform.Nodes, cc.Fanout, cc.Roots),
+		nodes:      make([]*core.Node, cc.Platform.Nodes),
+		aggs:       make([]*aggregator, cc.Platform.Nodes),
+		covered:    map[int]int{},
+		partials:   map[int]bool{},
+		completed:  map[int]bool{},
+		failed:     make([]bool, cc.Platform.Nodes),
+		exited:     make([]bool, cc.Platform.Nodes),
+		doneRoots:  map[int]int{},
 	}
 	c.iterDone = sync.NewCond(&c.mu)
 
@@ -237,13 +214,13 @@ func New(cfg Config) (*Cluster, error) {
 		nodeID := i
 		opts := core.Options{
 			NodeID:    nodeID,
-			OutputDir: cfg.OutputDir,
-			Logger:    cfg.Logger,
+			OutputDir: cc.OutputDir,
+			Logger:    cc.Logger,
 			ExtraPlugins: map[string][]core.Plugin{
 				"end_iteration": {&forwarder{agg: c.aggs[nodeID]}},
 			},
 		}
-		n, err := core.NewNode(cfg.Meta, clients, opts)
+		n, err := core.NewNode(spec.Meta, clients, opts)
 		if err != nil {
 			for j := 0; j < i; j++ {
 				c.nodes[j].Shutdown()
@@ -274,6 +251,12 @@ func (c *Cluster) Tree() Tree {
 // Nodes returns the number of nodes.
 func (c *Cluster) Nodes() int { return len(c.nodes) }
 
+// ClientsPerNode returns the simulation client count on each node —
+// what a driver loops over when it writes through Client.
+func (c *Cluster) ClientsPerNode() int {
+	return c.cc.Platform.CoresPerNode - c.cc.DedicatedPerNode
+}
+
 // Node returns one node's middleware instance.
 func (c *Cluster) Node(i int) *core.Node { return c.nodes[i] }
 
@@ -282,7 +265,11 @@ func (c *Cluster) Client(node, source int) *core.Client {
 	return c.nodes[node].Client(source)
 }
 
-// Stats returns a snapshot of the cluster counters.
+// Stats returns a snapshot of the cluster counters. Token counters are
+// carved out of the (possibly shared) broker's holder-tagged ledger:
+// only grants and waits of this tenant's holder span count, keyed back
+// to tenant-local node ids — so two tenants on one broker each see
+// exactly their own slice, and the slices sum to the broker totals.
 func (c *Cluster) Stats() Stats {
 	c.mu.Lock()
 	s := c.stats
@@ -291,23 +278,40 @@ func (c *Cluster) Stats() Stats {
 		s.Completeness[it] = float64(n) / float64(len(c.nodes))
 	}
 	c.mu.Unlock()
-	if c.cfg.Broker != nil {
-		bs := c.cfg.Broker.Stats()
-		s.TokenWaitTime = bs.WaitTime
-		s.TokenGrants = bs.Grants
-		s.RootTokenWait = bs.WaitByHolder
-		s.RootContention = bs.ContendedByHolder
-		s.TokensReclaimed = bs.HolderReleases + bs.CanceledRequests
+	if c.cc.Broker != nil {
+		bs := c.cc.Broker.Stats()
+		lo, hi := c.holderBase, c.holderBase+len(c.nodes)
+		for h, n := range bs.GrantsByHolder {
+			if h >= lo && h < hi {
+				s.TokenGrants += n
+			}
+		}
+		s.RootTokenWait = map[int]float64{}
+		for h, w := range bs.WaitByHolder {
+			if h >= lo && h < hi {
+				s.RootTokenWait[h-lo] = w
+				s.TokenWaitTime += w
+			}
+		}
+		s.RootContention = map[int]int{}
+		for h, n := range bs.ContendedByHolder {
+			if h >= lo && h < hi {
+				s.RootContention[h-lo] = n
+			}
+		}
 	}
 	return s
 }
+
+// Tenant returns the tenant id this cluster runs as (0 standalone).
+func (c *Cluster) Tenant() int { return c.tenant }
 
 // rootTargets maps a root to its broker target window: one
 // BrokerStripes-wide window per aggregation tree, indexed by the
 // subtree the root leads — a promoted root inherits the dead root's
 // window, mirroring the DES side's rootOrdinal inheritance.
 func (c *Cluster) rootTargets(node int) []int {
-	stripes := c.cfg.BrokerStripes
+	stripes := c.cc.BrokerStripes
 	if stripes < 1 {
 		stripes = 1
 	}
@@ -367,7 +371,21 @@ func (c *Cluster) fail(err error) {
 	c.mu.Lock()
 	c.errs = append(c.errs, err)
 	c.mu.Unlock()
-	c.cfg.Logger.Printf("cluster: %v", err)
+	c.cc.Logger.Printf("cluster: %v", err)
+}
+
+// Cancel evicts the run mid-flight: every node is killed as if the
+// failure schedule had fired, which re-routes nothing (the whole forest
+// dies), reclaims the tenant's broker tokens, drains in-flight merges
+// into the lost-blocks accounting — returning their pooled payload
+// buffers — and then shuts the nodes down. Safe to call at any point,
+// including concurrently with client writes; it is how a Service
+// enforces an eviction.
+func (c *Cluster) Cancel() error {
+	for i := range c.nodes {
+		c.killNode(i, 0)
+	}
+	return c.Shutdown()
 }
 
 // killNode executes one scheduled death: atomically re-route the tree,
@@ -388,10 +406,12 @@ func (c *Cluster) killNode(d, blocksDropped int) {
 	c.failEpoch++
 	c.stats.NodesFailed++
 	c.stats.ReroutedEdges += len(edges)
-	if c.cfg.Broker != nil {
+	if c.cc.Broker != nil {
 		// A dead root must not strand a write token for the rest of the
-		// run: free what it holds, cancel what it queued for.
-		c.cfg.Broker.ReleaseHolder(d)
+		// run: free what it holds, cancel what it queued for. The count
+		// accumulates locally — on a shared broker, the global
+		// HolderReleases tally mixes in other tenants' reclaims.
+		c.stats.TokensReclaimed += c.cc.Broker.ReleaseHolder(c.holderBase + d)
 	}
 	c.postTo(d, aggMsg{die: true})
 	for i, a := range c.aggs {
@@ -405,7 +425,7 @@ func (c *Cluster) killNode(d, blocksDropped int) {
 	}
 	c.mu.Unlock()
 	c.iterDone.Broadcast()
-	c.cfg.Logger.Printf("cluster: node %d failed, %d edges re-routed", d, len(edges))
+	c.cc.Logger.Printf("cluster: node %d failed, %d edges re-routed", d, len(edges))
 }
 
 // postTo delivers a message to node i's aggregator, counting a batch as
@@ -454,7 +474,7 @@ func (f *forwarder) Name() string { return "cluster-forward" }
 func (f *forwarder) OnEvent(ctx *core.PluginContext, ev core.Event) error {
 	c := f.agg.c
 	refs := ctx.Index.Iteration(ev.Iteration)
-	if at, ok := c.cfg.Failures.At(f.agg.node); ok && ev.Iteration >= at {
+	if at, ok := c.spec.Failures.At(f.agg.node); ok && ev.Iteration >= at {
 		c.killNode(f.agg.node, len(refs))
 		return nil
 	}
@@ -739,12 +759,21 @@ func (a *aggregator) emit(b *Batch, covered map[int]bool, partial bool) {
 
 	// Cluster-wide write scheduling: claim this root's target window
 	// before touching the store, earliest iteration first, so roots of
-	// different trees never hit the same target at once.
-	if c.cfg.Broker != nil {
-		grant := c.cfg.Broker.Acquire(storage.TokenRequest{
-			Holder:   a.node,
+	// different trees — this tenant's or another's — never hit the same
+	// target at once. The request carries the tenant identity the
+	// shared broker arbitrates and accounts by.
+	if c.cc.Broker != nil {
+		deadline := float64(b.Iteration)
+		if c.spec.Deadline > 0 {
+			deadline += c.spec.Deadline
+		}
+		grant := c.cc.Broker.Acquire(storage.TokenRequest{
+			Holder:   c.holderBase + a.node,
+			Tenant:   c.tenant,
+			Priority: c.spec.Priority,
+			Weight:   c.spec.Weight,
 			Targets:  c.rootTargets(a.node),
-			Deadline: float64(b.Iteration),
+			Deadline: deadline,
 			Bytes:    float64(b.Bytes()),
 		})
 		if grant.Denied {
@@ -764,23 +793,45 @@ func (a *aggregator) emit(b *Batch, covered map[int]bool, partial bool) {
 	// built, payload segments alias the batch's pooled buffers, and the
 	// backend gathers (or discards) them in its own single copy.
 	b.normalize()
-	for _, h := range c.cfg.Hooks {
+	for _, h := range c.spec.Hooks {
 		if err := h.OnIteration(b.Iteration, b); err != nil {
 			c.fail(fmt.Errorf("hook %q on iteration %d: %w", h.Name(), b.Iteration, err))
 		}
 	}
 	segs := EncodeBatchVec(b)
 	objLen := storage.SegsLen(segs)
-	name := fmt.Sprintf("%s-root%03d-it%06d", c.cfg.JobName, a.node, b.Iteration)
-	err := storage.PutVec(c.cfg.Store, name, segs)
+
+	// Byte-quota enforcement: a tenant whose next object would cross
+	// its MaxBytes budget skips the write — the §V.C skip policy applied
+	// to budget instead of time. The iteration still completes (waiters
+	// must not hang on an over-budget tenant); the loss is visible in
+	// QuotaDroppedObjects, BlocksLost and Completeness.
+	if max := c.spec.Quota.MaxBytes; max > 0 {
+		c.mu.Lock()
+		over := c.stats.ObjectBytes+int64(objLen) > max
+		if over {
+			c.stats.QuotaDroppedObjects++
+			c.stats.BlocksLost += len(b.Blocks)
+			c.noteRootStored(b.Iteration)
+		}
+		c.mu.Unlock()
+		if over {
+			c.iterDone.Broadcast()
+			b.ReleaseBuffers()
+			return
+		}
+	}
+
+	name := fmt.Sprintf("%s-root%03d-it%06d", c.spec.JobName, a.node, b.Iteration)
+	err := storage.PutVec(c.cc.Store, name, segs)
 	var manifestStored bool
-	if err == nil && !c.cfg.DisableManifests {
+	if err == nil && !c.cc.DisableManifests {
 		// The manifest rides along with the data: a small index object
 		// Restore navigates by without touching any payload. A failed
 		// manifest Put degrades the run to unreplayable, not broken —
 		// the data object is already durable.
-		m := newManifest(c.cfg.JobName, a.node, name, b, covers, partial)
-		if ci, ok := c.cfg.Store.(storage.ObjectCodecInfoer); ok {
+		m := newManifest(c.spec.JobName, a.node, name, b, covers, partial)
+		if ci, ok := c.cc.Store.(storage.ObjectCodecInfoer); ok {
 			// A compressing store knows how it just encoded the data
 			// object; the manifest records codec and sizes so a restart
 			// can see the compression story without fetching payloads.
@@ -790,7 +841,7 @@ func (a *aggregator) emit(b *Batch, covered map[int]bool, partial bool) {
 				m.EncodedBytes = info.EncodedBytes
 			}
 		}
-		if merr := c.cfg.Store.Put(m.Name(), EncodeManifest(m)); merr != nil {
+		if merr := c.cc.Store.Put(m.Name(), EncodeManifest(m)); merr != nil {
 			c.fail(fmt.Errorf("storing manifest %s: %w", m.Name(), merr))
 		} else {
 			manifestStored = true

@@ -10,6 +10,7 @@
 //	E3 aggregate throughput (§IV.C)      E7 in-situ visualization (§V.C.1)
 //	E4 dedicated-core idle time (§IV.D)  E8 usability LoC (§V.C.2)
 //	A1/A2 design-choice ablations        F1 node failures, R1 restart
+//	E9 multi-tenant admission (cluster.Service + DES service model)
 package experiments
 
 import (
@@ -59,6 +60,16 @@ type Options struct {
 	// cluster-token it restricts E6 to the cross-root sweep (the CI
 	// matrix's cross-root mode).
 	Scheduling iostrat.Scheduling
+	// Tenants is the number of tenant jobs E9 submits per sweep point
+	// (the -tenants bench flag; default 24 — E9 also sweeps half that).
+	Tenants int
+	// ArrivalRate pins E9's job arrival rate in jobs per second (the
+	// -arrival bench flag); 0 sweeps a light and a heavy rate.
+	ArrivalRate float64
+	// Admission restricts E9's policy sweep to one admission policy
+	// (the -admission bench flag: fifo, deadline, reject, degrade);
+	// empty sweeps all four and runs the cross-policy checks.
+	Admission cluster.AdmissionPolicy
 }
 
 // Default returns the paper-scale options: the Kraken sweep up to 9216

@@ -403,3 +403,49 @@ func TestC1Quick(t *testing.T) {
 		t.Fatalf("C1 produced %d tables, want 4", len(rep.Tables))
 	}
 }
+
+// TestE9Quick runs the multi-tenant sweep at quick scale: every check —
+// including the acceptance one, EDF beating FIFO on p99 write latency
+// under oversubscription — must hold.
+func TestE9Quick(t *testing.T) {
+	rep, err := RunE9(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 { // DES sweep + runtime accounting
+		t.Fatalf("E9 produced %d tables, want 2", len(rep.Tables))
+	}
+	if rep.Tables[0].NumRows() != 16 { // 2 tenancies × 2 rates × 4 policies
+		t.Fatalf("E9 sweep rows = %d, want 16", rep.Tables[0].NumRows())
+	}
+	for _, c := range rep.Checks {
+		if !c.Pass() {
+			t.Errorf("E9 check failed at quick scale: %s", c)
+		}
+	}
+}
+
+// TestE9PinnedAdmission is the CI matrix's e9-smoke shape: the -tenants,
+// -arrival and -admission flags pin the sweep to a single point and the
+// cross-policy checks are skipped.
+func TestE9PinnedAdmission(t *testing.T) {
+	o := quick()
+	o.Tenants = 8
+	o.ArrivalRate = 1.0 / 10
+	o.Admission = cluster.AdmitDeadline
+	rep, err := RunE9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tables[0].NumRows() != 2 { // 2 tenancies × 1 rate × 1 policy
+		t.Fatalf("pinned sweep rows = %d, want 2", rep.Tables[0].NumRows())
+	}
+	for _, c := range rep.Checks {
+		if strings.HasPrefix(c.Name, "DES deadline") {
+			t.Errorf("pinned admission still ran a cross-policy check: %s", c.Name)
+		}
+		if !c.Pass() {
+			t.Errorf("E9 pinned check failed: %s", c)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package iostrat
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+// serviceBase is an oversubscribed quick-scale setup: 16 jobs of 24
+// nodes each arriving onto a 96-node machine — four run at once, the
+// rest queue.
+func serviceBase(admission cluster.AdmissionPolicy) ServiceConfig {
+	return ServiceConfig{
+		Platform:      topology.Kraken(96),
+		Seed:          2013,
+		Jobs:          24,
+		ArrivalRate:   1.0 / 20,
+		Admission:     admission,
+		NodesPerJob:   24,
+		DeadlineSlack: 3,
+		Workload: Workload{
+			BytesPerCore:  38e6,
+			VarsPerCore:   20,
+			ComputeTime:   60,
+			ComputeJitter: 0.004,
+			Iterations:    4,
+		},
+	}
+}
+
+func TestServiceModelDeterministic(t *testing.T) {
+	a, err := RunService(serviceBase(cluster.AdmitFIFO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunService(serviceBase(cluster.AdmitFIFO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P99WriteLatency() != b.P99WriteLatency() || a.TotalTime != b.TotalTime {
+		t.Fatalf("same seed diverged: p99 %v vs %v, total %v vs %v",
+			a.P99WriteLatency(), b.P99WriteLatency(), a.TotalTime, b.TotalTime)
+	}
+	if a.Admitted != 24 || a.Rejected != 0 {
+		t.Fatalf("admitted %d rejected %d, want 24/0 under FIFO", a.Admitted, a.Rejected)
+	}
+	if a.MaxQueued == 0 {
+		t.Fatal("no job ever queued; the setup is not oversubscribed")
+	}
+	if a.AdmissionWaitTime <= 0 {
+		t.Fatal("oversubscription produced no admission wait")
+	}
+}
+
+// TestServiceModelDeadlineBeatsFIFO is the DES acceptance check at unit
+// scale: with a bimodal job mix, EDF admission (which degrades to
+// shortest-job-first) must beat FIFO on the p99 per-iteration write
+// latency.
+func TestServiceModelDeadlineBeatsFIFO(t *testing.T) {
+	fifo, err := RunService(serviceBase(cluster.AdmitFIFO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edf, err := RunService(serviceBase(cluster.AdmitDeadline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edf.P99WriteLatency() >= fifo.P99WriteLatency() {
+		t.Fatalf("deadline admission p99 %.1fs not better than FIFO %.1fs",
+			edf.P99WriteLatency(), fifo.P99WriteLatency())
+	}
+	if edf.DeadlinesMissed > fifo.DeadlinesMissed {
+		t.Fatalf("deadline admission missed more deadlines (%d) than FIFO (%d)",
+			edf.DeadlinesMissed, fifo.DeadlinesMissed)
+	}
+}
+
+func TestServiceModelReject(t *testing.T) {
+	cfg := serviceBase(cluster.AdmitReject)
+	cfg.ArrivalRate = 1 // jobs pile in long before nodes free up
+	res, err := RunService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("reject policy rejected nothing under oversubscription")
+	}
+	if res.Admitted+res.Rejected != cfg.Jobs {
+		t.Fatalf("admitted %d + rejected %d != %d", res.Admitted, res.Rejected, cfg.Jobs)
+	}
+	for _, j := range res.Jobs {
+		if j.Rejected && len(j.WriteLatencies) != 0 {
+			t.Fatalf("rejected job %d wrote %d iterations", j.ID, len(j.WriteLatencies))
+		}
+	}
+}
+
+func TestServiceModelDegrade(t *testing.T) {
+	cfg := serviceBase(cluster.AdmitDegrade)
+	cfg.ArrivalRate = 1
+	res, err := RunService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded == 0 {
+		t.Fatal("degrade policy never shrank a job under oversubscription")
+	}
+	lost := 0.0
+	for _, j := range res.Jobs {
+		if j.Degraded {
+			if j.Nodes >= j.NodesAsked || j.Nodes <= 0 {
+				t.Fatalf("degraded job %d granted %d of %d nodes", j.ID, j.Nodes, j.NodesAsked)
+			}
+			lost += j.LostBytes
+		}
+	}
+	if lost <= 0 {
+		t.Fatal("degraded jobs shed no bytes; the skip-policy analogue is not priced")
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("degrade policy rejected %d jobs", res.Rejected)
+	}
+}

@@ -25,8 +25,17 @@ const (
 	// first ordering: when several writers wait for overlapping targets,
 	// the one whose iteration deadline is nearest is granted first (the
 	// §IV.C spare-time schedule — a root that is behind must not starve
-	// behind a root that is ahead).
+	// behind a root that is ahead). Requests with a higher Priority are
+	// ordered ahead of lower-priority ones regardless of deadline — the
+	// service's priority arbitration between tenants; leaving Priority 0
+	// everywhere keeps the pure-EDF behaviour.
 	PolicyDeadline TokenPolicy = "deadline"
+	// PolicyFairShare is per-target exclusivity ordered by accumulated
+	// granted bytes per tenant, least served first (weighted by each
+	// request's Weight): when several tenants contend for the same OSTs,
+	// the one that has moved the least data so far goes first, so a
+	// chatty tenant cannot starve a quiet one. Ties fall back to FIFO.
+	PolicyFairShare TokenPolicy = "fair-share"
 )
 
 // TokenRequest asks a broker for the right to write one stream.
@@ -42,8 +51,20 @@ type TokenRequest struct {
 	// Deadline orders waiters under PolicyDeadline (lower = more
 	// urgent); ignored by the FIFO policies.
 	Deadline float64
-	// Bytes is the payload the grant covers, for accounting only.
+	// Bytes is the payload the grant covers: accounting under most
+	// policies, and the fair-share currency under PolicyFairShare.
 	Bytes float64
+	// Tenant groups holders for cross-run accounting and fair-share
+	// arbitration: every run admitted by a cluster.Service tags its
+	// requests with its tenant id. 0 is the untenanted default.
+	Tenant int
+	// Priority orders waiters under PolicyDeadline before the deadline
+	// comparison (higher wins). 0 everywhere keeps pure EDF.
+	Priority int
+	// Weight scales the tenant's fair share under PolicyFairShare (a
+	// weight-2 tenant may move twice the bytes of a weight-1 tenant
+	// before queueing behind it). 0 means 1.
+	Weight float64
 }
 
 // TokenGrant is the outcome of an acquire: the release handle plus what
@@ -84,6 +105,13 @@ type BrokerStats struct {
 	WaitTime float64
 	// GrantsByTarget counts grants per storage target.
 	GrantsByTarget map[int]int
+	// GrantsByHolder counts grants per holder, so a run sharing the
+	// broker with other tenants can recover its own grant count.
+	GrantsByHolder map[int]int
+	// BytesByTenant is the payload volume granted per tenant — the
+	// fair-share ledger, and the service's per-tenant bandwidth
+	// accounting.
+	BytesByTenant map[int]float64
 	// WaitByHolder splits WaitTime per holder (tree root).
 	WaitByHolder map[int]float64
 	// ContendedByHolder splits ContendedGrants per holder.
@@ -153,12 +181,15 @@ type brokerWaiter struct {
 type Broker struct {
 	mu      sync.Mutex
 	opts    BrokerOptions
-	held    map[int]int // target → holder (PolicyPerTarget/PolicyDeadline)
+	held    map[int]int // target → holder (the exclusive policies)
 	inUse   int         // granted slots (PolicyGlobal)
 	slotsBy map[int]int // holder → held slots (PolicyGlobal)
 	queue   []*brokerWaiter
 	seq     int
 	stats   BrokerStats
+	// servedByTenant is the weighted fair-share ledger: granted bytes
+	// divided by request weight, per tenant (PolicyFairShare's sort key).
+	servedByTenant map[int]float64
 }
 
 // NewBroker builds an in-process broker. See BrokerOptions for the
@@ -174,9 +205,10 @@ func NewBroker(opts BrokerOptions) *Broker {
 		opts.MaxConcurrent = opts.Targets
 	}
 	return &Broker{
-		opts:    opts,
-		held:    map[int]int{},
-		slotsBy: map[int]int{},
+		opts:           opts,
+		held:           map[int]int{},
+		slotsBy:        map[int]int{},
+		servedByTenant: map[int]float64{},
 	}
 }
 
@@ -255,17 +287,48 @@ func (b *Broker) takeLocked(w *brokerWaiter) {
 	for _, t := range w.targets {
 		b.stats.GrantsByTarget[t]++
 	}
+	if b.stats.GrantsByHolder == nil {
+		b.stats.GrantsByHolder = map[int]int{}
+	}
+	b.stats.GrantsByHolder[w.req.Holder]++
+	if b.stats.BytesByTenant == nil {
+		b.stats.BytesByTenant = map[int]float64{}
+	}
+	b.stats.BytesByTenant[w.req.Tenant] += w.req.Bytes
+	b.servedByTenant[w.req.Tenant] += w.req.Bytes / reqWeight(w.req)
+}
+
+// reqWeight returns a request's fair-share weight (default 1).
+func reqWeight(req TokenRequest) float64 {
+	if req.Weight > 0 {
+		return req.Weight
+	}
+	return 1
 }
 
 // order returns the queue scan order under the policy: arrival order
-// for the FIFO policies, earliest deadline first (arrival as the tie
-// break) for PolicyDeadline.
+// for the FIFO policies, priority then earliest deadline first (arrival
+// as the tie break) for PolicyDeadline, and least-served tenant first
+// for PolicyFairShare.
 func (b *Broker) order() []*brokerWaiter {
 	scan := append([]*brokerWaiter(nil), b.queue...)
-	if b.opts.Policy == PolicyDeadline {
+	switch b.opts.Policy {
+	case PolicyDeadline:
 		sort.SliceStable(scan, func(i, j int) bool {
+			if scan[i].req.Priority != scan[j].req.Priority {
+				return scan[i].req.Priority > scan[j].req.Priority
+			}
 			if scan[i].req.Deadline != scan[j].req.Deadline {
 				return scan[i].req.Deadline < scan[j].req.Deadline
+			}
+			return scan[i].seq < scan[j].seq
+		})
+	case PolicyFairShare:
+		sort.SliceStable(scan, func(i, j int) bool {
+			si := b.servedByTenant[scan[i].req.Tenant]
+			sj := b.servedByTenant[scan[j].req.Tenant]
+			if si != sj {
+				return si < sj
 			}
 			return scan[i].seq < scan[j].seq
 		})
@@ -503,6 +566,8 @@ func (b *Broker) Stats() BrokerStats {
 	defer b.mu.Unlock()
 	s := b.stats
 	s.GrantsByTarget = copyIntMap(b.stats.GrantsByTarget)
+	s.GrantsByHolder = copyIntMap(b.stats.GrantsByHolder)
+	s.BytesByTenant = copyFloatMap(b.stats.BytesByTenant)
 	s.WaitByHolder = copyFloatMap(b.stats.WaitByHolder)
 	s.ContendedByHolder = copyIntMap(b.stats.ContendedByHolder)
 	return s
@@ -533,7 +598,7 @@ func copyFloatMap(m map[int]float64) map[int]float64 {
 // ValidateTokenPolicy rejects unknown policy names before a run starts.
 func ValidateTokenPolicy(p TokenPolicy) error {
 	switch p {
-	case PolicyPerTarget, PolicyGlobal, PolicyDeadline:
+	case PolicyPerTarget, PolicyGlobal, PolicyDeadline, PolicyFairShare:
 		return nil
 	default:
 		return fmt.Errorf("storage: unknown token policy %q", p)

@@ -291,3 +291,92 @@ func TestAccountingAddBroker(t *testing.T) {
 		t.Fatalf("merged by-target: %v", acc.GrantsByTarget)
 	}
 }
+
+// Fair-share ordering: the waiter whose tenant has consumed the least
+// weight-normalized bytes is granted first, regardless of arrival
+// order. Tenant 2's small Weight inflates its normalized consumption,
+// pushing it behind tenant 1 even though it moved fewer raw bytes.
+func TestBrokerFairShareOrdersByServedBytes(t *testing.T) {
+	eng := des.NewEngine()
+	b := NewBroker(BrokerOptions{Policy: PolicyFairShare, Targets: 1, Engine: eng})
+	var order []int
+	hold := func(at float64, tenant, holder int, bytes, weight, dur float64) {
+		eng.SpawnAt(at, "w", func(p *des.Proc) {
+			g := b.AcquireSim(p, TokenRequest{
+				Holder: holder, Tenant: tenant, Targets: []int{0},
+				Bytes: bytes, Weight: weight,
+			})
+			order = append(order, tenant)
+			p.Wait(dur)
+			g.Release()
+		})
+	}
+	// Warm-up consumption: tenant 1 moves 1000 bytes at weight 1,
+	// tenant 2 moves 400 bytes at weight 0.25 (normalized 1600). The
+	// second warm-up holds the token until t=10 so a queue forms.
+	hold(0, 1, 11, 1000, 0, 1)
+	hold(1, 2, 12, 400, 0.25, 9)
+	// Waiters queue in arrival order 1, 2, 3; fair-share must grant
+	// tenant 3 (served 0), then 1 (1000), then 2 (1600).
+	hold(2, 1, 11, 10, 0, 1)
+	hold(3, 2, 12, 10, 0.25, 1)
+	hold(4, 3, 13, 10, 0, 1)
+	eng.Run()
+	want := []int{1, 2, 3, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("grant order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+	st := b.Stats()
+	if st.BytesByTenant[1] != 1010 || st.BytesByTenant[2] != 410 || st.BytesByTenant[3] != 10 {
+		t.Fatalf("BytesByTenant = %v", st.BytesByTenant)
+	}
+	if st.GrantsByHolder[11] != 2 || st.GrantsByHolder[12] != 2 || st.GrantsByHolder[13] != 1 {
+		t.Fatalf("GrantsByHolder = %v", st.GrantsByHolder)
+	}
+}
+
+// Priority outranks deadline under PolicyDeadline: a high-priority
+// tenant's waiter is granted before lower-priority waiters with
+// earlier deadlines.
+func TestBrokerDeadlinePriorityFirst(t *testing.T) {
+	eng := des.NewEngine()
+	b := NewBroker(BrokerOptions{Policy: PolicyDeadline, Targets: 1, Engine: eng})
+	var order []int
+	eng.Spawn("first", func(p *des.Proc) {
+		g := b.AcquireSim(p, TokenRequest{Holder: 0, Targets: []int{0}, Deadline: 5})
+		p.Wait(10)
+		order = append(order, 0)
+		g.Release()
+	})
+	// Holder 1 has the worst deadline but Priority 1; holders 2 and 3
+	// keep the default priority and sort by deadline among themselves.
+	specs := []struct {
+		holder, prio int
+		deadline     float64
+	}{
+		{1, 1, 30}, {2, 0, 10}, {3, 0, 20},
+	}
+	for _, s := range specs {
+		s := s
+		eng.SpawnAt(1, "late", func(p *des.Proc) {
+			g := b.AcquireSim(p, TokenRequest{
+				Holder: s.holder, Priority: s.prio, Targets: []int{0}, Deadline: s.deadline,
+			})
+			p.Wait(1)
+			order = append(order, s.holder)
+			g.Release()
+		})
+	}
+	eng.Run()
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+}

@@ -29,6 +29,19 @@ type ShardedBroker struct {
 
 	mu    sync.Mutex
 	stats BrokerStats // request-level ledger (per-target detail lives in the shards)
+	// deaths counts ReleaseHolder calls per holder. A spanning Acquire
+	// snapshots its holder's count up front and re-checks it after every
+	// shard grant: a bump means ReleaseHolder ran mid-acquisition, and
+	// the shards it swept could not see grants taken after the sweep —
+	// the acquisition rolls every shard back and reports Denied, so a
+	// holder that dies between spanning acquisition and rollback cannot
+	// strand tokens on shards the sweep already passed.
+	deaths map[int]int
+
+	// testBetweenShards, when set (tests only), runs between consecutive
+	// shard acquisitions of a spanning request, so a test can schedule a
+	// ReleaseHolder exactly inside the window the epoch check closes.
+	testBetweenShards func(nextShard int)
 }
 
 // NewShardedBroker builds a broker with the given shard count. Counts
@@ -47,7 +60,7 @@ func NewShardedBroker(opts BrokerOptions, shards int) TokenBroker {
 	if shards < 2 || opts.Policy == PolicyGlobal {
 		return NewBroker(opts)
 	}
-	s := &ShardedBroker{opts: opts, shards: make([]*Broker, shards)}
+	s := &ShardedBroker{opts: opts, shards: make([]*Broker, shards), deaths: map[int]int{}}
 	for i := range s.shards {
 		// Each child keeps the full target space for resolution, so the
 		// parent can hand it already-resolved target ids unchanged.
@@ -93,10 +106,26 @@ func (s *ShardedBroker) partition(targets []int) []shardPart {
 	return parts
 }
 
+// deathEpoch returns the holder's ReleaseHolder count.
+func (s *ShardedBroker) deathEpoch(holder int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deaths[holder]
+}
+
 // account records one successful request-level grant.
-func (s *ShardedBroker) account(holder int, wait float64, contended bool) {
+func (s *ShardedBroker) account(req TokenRequest, wait float64, contended bool) {
+	holder := req.Holder
 	s.mu.Lock()
 	s.stats.Grants++
+	if s.stats.GrantsByHolder == nil {
+		s.stats.GrantsByHolder = map[int]int{}
+	}
+	s.stats.GrantsByHolder[holder]++
+	if s.stats.BytesByTenant == nil {
+		s.stats.BytesByTenant = map[int]float64{}
+	}
+	s.stats.BytesByTenant[req.Tenant] += req.Bytes
 	if contended {
 		s.stats.ContendedGrants++
 		s.stats.WaitTime += wait
@@ -121,17 +150,24 @@ func releaseAll(grants []TokenGrant) {
 
 // Acquire implements TokenBroker (real face): shard grants are taken
 // in ascending shard order; a denial anywhere (the holder died while
-// queued) rolls back the shards already held.
+// queued) rolls back the shards already held, and a ReleaseHolder that
+// lands mid-acquisition (death-epoch bump) rolls back likewise — see
+// the deaths field.
 func (s *ShardedBroker) Acquire(req TokenRequest) TokenGrant {
 	start := time.Now()
+	epoch := s.deathEpoch(req.Holder)
 	parts := s.partition(req.Targets)
 	grants := make([]TokenGrant, 0, len(parts))
 	contended := false
-	for _, p := range parts {
+	for i, p := range parts {
+		if i > 0 && s.testBetweenShards != nil {
+			s.testBetweenShards(p.shard)
+		}
 		sub := req
 		sub.Targets = p.targets
 		g := s.shards[p.shard].Acquire(sub)
-		if g.Denied {
+		if g.Denied || s.deathEpoch(req.Holder) != epoch {
+			grants = append(grants, g)
 			releaseAll(grants)
 			return TokenGrant{Denied: true, Wait: time.Since(start).Seconds()}
 		}
@@ -139,7 +175,7 @@ func (s *ShardedBroker) Acquire(req TokenRequest) TokenGrant {
 		grants = append(grants, g)
 	}
 	wait := time.Since(start).Seconds()
-	s.account(req.Holder, wait, contended)
+	s.account(req, wait, contended)
 	return TokenGrant{
 		Wait:      wait,
 		Contended: contended,
@@ -153,6 +189,7 @@ func (s *ShardedBroker) AcquireSim(p *des.Proc, req TokenRequest) TokenGrant {
 		panic("storage: AcquireSim on a broker with no engine")
 	}
 	start := s.opts.Engine.Now()
+	epoch := s.deathEpoch(req.Holder)
 	parts := s.partition(req.Targets)
 	grants := make([]TokenGrant, 0, len(parts))
 	contended := false
@@ -160,7 +197,8 @@ func (s *ShardedBroker) AcquireSim(p *des.Proc, req TokenRequest) TokenGrant {
 		sub := req
 		sub.Targets = part.targets
 		g := s.shards[part.shard].AcquireSim(p, sub)
-		if g.Denied {
+		if g.Denied || s.deathEpoch(req.Holder) != epoch {
+			grants = append(grants, g)
 			releaseAll(grants)
 			return TokenGrant{Denied: true, Wait: s.opts.Engine.Now() - start}
 		}
@@ -168,7 +206,7 @@ func (s *ShardedBroker) AcquireSim(p *des.Proc, req TokenRequest) TokenGrant {
 		grants = append(grants, g)
 	}
 	wait := s.opts.Engine.Now() - start
-	s.account(req.Holder, wait, contended)
+	s.account(req, wait, contended)
 	return TokenGrant{
 		Wait:      wait,
 		Contended: contended,
@@ -176,11 +214,17 @@ func (s *ShardedBroker) AcquireSim(p *des.Proc, req TokenRequest) TokenGrant {
 	}
 }
 
-// ReleaseHolder implements TokenBroker: every shard frees the dead
-// holder's tokens and cancels its queued requests. A spanning request
-// of the holder that is mid-acquisition sees its next shard deny it
-// and rolls back the rest itself.
+// ReleaseHolder implements TokenBroker: the holder's death epoch is
+// bumped first, then EVERY child shard — not just the ones with held
+// targets — frees the dead holder's tokens and cancels its queued
+// requests. A spanning request of the holder that is mid-acquisition
+// either sees its next shard deny it, or observes the epoch bump right
+// after a grant the sweep could not see; both paths roll back every
+// shard already held.
 func (s *ShardedBroker) ReleaseHolder(holder int) int {
+	s.mu.Lock()
+	s.deaths[holder]++
+	s.mu.Unlock()
 	freed := 0
 	for _, sh := range s.shards {
 		freed += sh.ReleaseHolder(holder)

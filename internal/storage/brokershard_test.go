@@ -182,3 +182,54 @@ func TestShardedBrokerReleaseHolderRollback(t *testing.T) {
 		t.Fatal("cancellation not visible in merged stats")
 	}
 }
+
+// TestShardedBrokerDeathBetweenAcquisitionAndRollback kills a holder
+// in the window AFTER the ReleaseHolder sweep could see its shard-0
+// grant but BEFORE the spanning acquisition takes shard 2. The sweep
+// cannot free a token that is not held yet, so only the death-epoch
+// re-check can stop the acquirer from completing with a token owned by
+// a dead holder.
+func TestShardedBrokerDeathBetweenAcquisitionAndRollback(t *testing.T) {
+	b := NewShardedBroker(BrokerOptions{Policy: PolicyPerTarget, Targets: 4}, 4).(*ShardedBroker)
+	fired := false
+	b.testBetweenShards = func(next int) {
+		if fired {
+			return
+		}
+		fired = true
+		if next != 2 {
+			t.Errorf("hook fired before shard %d, want 2", next)
+		}
+		// Holder 9 holds shard 0 and nothing else; the sweep frees that
+		// and bumps the death epoch.
+		if freed := b.ReleaseHolder(9); freed != 1 {
+			t.Errorf("ReleaseHolder freed %d tokens, want 1 (shard 0)", freed)
+		}
+	}
+	g := b.Acquire(TokenRequest{Holder: 9, Targets: []int{0, 2}})
+	if !fired {
+		t.Fatal("request did not span shards; test is vacuous")
+	}
+	if !g.Denied {
+		t.Fatal("acquisition completed for a holder that died mid-spanning-acquire")
+	}
+	g.Release() // no-op on a denied grant
+	if got := b.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding() = %d after mid-acquisition death, want 0", got)
+	}
+
+	// Both targets must be acquirable again: neither the swept shard-0
+	// token nor the epoch-rolled-back shard-2 token may stay stranded.
+	g0 := b.Acquire(TokenRequest{Holder: 2, Targets: []int{0}})
+	g2 := b.Acquire(TokenRequest{Holder: 2, Targets: []int{2}})
+	if g0.Denied || g2.Denied {
+		t.Fatal("targets stranded after mid-acquisition death")
+	}
+	g0.Release()
+	g2.Release()
+
+	// The denied spanning request must not appear in the grant ledger.
+	if n := b.Stats().GrantsByHolder[9]; n != 0 {
+		t.Fatalf("dead holder shows %d request-level grants, want 0", n)
+	}
+}
