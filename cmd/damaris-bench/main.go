@@ -36,6 +36,12 @@
 //	damaris-bench -exp e9                          # tenancy × arrival × admission sweep
 //	damaris-bench -exp e9 -tenants 48 -arrival 0.1 -admission deadline
 //	                                               # pin one sweep point
+//
+// Incremental checkpoints (experiment E10 and the -dedup/-retain options):
+//
+//	damaris-bench -exp e10                         # overwrite-fraction sweep, both faces
+//	damaris-bench -dedup                           # dedup chunk store under every run
+//	damaris-bench -exp e10 -retain 4               # widen the retention/GC window
 package main
 
 import (
@@ -51,12 +57,13 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/iostrat"
 	"repro/internal/storage"
+	"repro/internal/storage/chunk"
 	"repro/internal/topology"
 )
 
 func main() {
 	var (
-		expList     = flag.String("exp", "all", "comma-separated experiment ids (e1..e9,a1,a2,f1,r1,c1) or 'all'")
+		expList     = flag.String("exp", "all", "comma-separated experiment ids (e1..e10,a1,a2,f1,r1,c1) or 'all'")
 		quick       = flag.Bool("quick", false, "reduced scale for a fast smoke run")
 		seed        = flag.Uint64("seed", 2013, "root seed for all stochastic inputs")
 		iters       = flag.Int("iters", 0, "output phases per run (0 = default)")
@@ -74,6 +81,8 @@ func main() {
 		tenants     = flag.Int("tenants", 0, "E9: tenant jobs per sweep point (0 = default 24)")
 		arrival     = flag.Float64("arrival", 0, "E9: job arrival rate in jobs/s (0 = sweep light and heavy)")
 		admission   = flag.String("admission", "", "E9: pin the admission policy (fifo, deadline, reject, degrade; empty sweeps all)")
+		dedup       = flag.Bool("dedup", false, "wrap every run's backend in the content-addressed dedup chunk store (E10 sweeps its own fractions)")
+		retain      = flag.Int("retain", 0, "checkpoint retention window in iterations for runtime runs over a dedup store (0 = keep everything)")
 	)
 	flag.Parse()
 
@@ -112,6 +121,8 @@ func main() {
 		}
 		opts.Scheduling = iostrat.Scheduling(*sched)
 	}
+	opts.Dedup = *dedup
+	opts.Retain = *retain
 	opts.Tenants = *tenants
 	opts.ArrivalRate = *arrival
 	if *admission != "" {
@@ -171,6 +182,7 @@ func main() {
 		{"r1", experiments.RunR1},
 		{"c1", experiments.RunC1},
 		{"e9", experiments.RunE9},
+		{"e10", experiments.RunE10},
 	}
 
 	failures := 0
@@ -214,10 +226,13 @@ func restoreReport(dir string) error {
 	if err != nil {
 		return err
 	}
-	// The decompressing wrapper is always safe on the read side: framed
-	// objects decode, plain ones pass through, so one code path replays
-	// compressed and uncompressed stores alike.
-	store := storage.NewCompressing(sdfStore, storage.CompressionOptions{})
+	// The decompressing and dedup wrappers are always safe on the read
+	// side: framed objects decode, chunk recipes reassemble, plain
+	// objects pass through — so one code path replays compressed,
+	// deduplicated and raw stores alike.
+	store := chunk.New(
+		storage.NewCompressing(sdfStore, storage.CompressionOptions{}),
+		chunk.Options{})
 	r, err := cluster.Restore(store, "")
 	if err != nil {
 		return err

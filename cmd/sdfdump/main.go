@@ -24,6 +24,7 @@ import (
 	"repro/internal/insitu"
 	"repro/internal/sdf"
 	"repro/internal/storage"
+	"repro/internal/storage/chunk"
 )
 
 func main() {
@@ -51,25 +52,41 @@ func main() {
 // dumpStore lists an SDF object store: manifests first (the index a
 // restart navigates by), then the remaining objects. Objects stored
 // through the compression pipeline are reported with their codec and
-// ratio (the frame header is self-describing) and decoded before any
-// manifest/batch parsing, so compressed and plain stores list alike.
+// ratio (the frame header is self-describing), and objects stored
+// through the dedup chunk store are reassembled from their recipes —
+// both decoded before any manifest/batch parsing, so deduplicated,
+// compressed and plain stores list alike. The content-addressed
+// chunks themselves are summarized in one line rather than listed.
 func dumpStore(dir string) error {
 	inner, err := storage.NewSDF(nil, 1, 1e9, dir)
 	if err != nil {
 		return err
 	}
+	// The same read stack -restart-from uses: recipes reassemble,
+	// frames decode, plain objects pass through untouched.
+	stack := chunk.New(
+		storage.NewCompressing(inner, storage.CompressionOptions{}),
+		chunk.Options{})
 	names, err := inner.List("")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d objects\n", dir, len(names))
 	var plain []string
+	chunks, chunkBytes := 0, 0
 	for _, name := range names {
+		if strings.HasPrefix(name, chunk.ChunkObjectName("")) {
+			chunks++
+			if raw, err := inner.Get(name); err == nil {
+				chunkBytes += len(raw)
+			}
+			continue
+		}
 		if !cluster.IsManifestName(name) {
 			plain = append(plain, name)
 			continue
 		}
-		data, codecNote, err := getDecoded(inner, name)
+		data, codecNote, err := getDecoded(stack, inner, name)
 		if err != nil {
 			fmt.Printf("  %-44s unreadable: %v\n", name, err)
 			continue
@@ -95,7 +112,7 @@ func dumpStore(dir string) error {
 			name, m.Job, m.Root, m.Iteration, len(m.Covers), len(m.Blocks), bytes, codecNote, status)
 	}
 	for _, name := range plain {
-		data, codecNote, err := getDecoded(inner, name)
+		data, codecNote, err := getDecoded(stack, inner, name)
 		if err != nil {
 			fmt.Printf("  %-44s unreadable: %v\n", name, err)
 			continue
@@ -106,25 +123,40 @@ func dumpStore(dir string) error {
 		}
 		fmt.Printf("  %-44s %s, %d bytes%s\n", name, kind, len(data), codecNote)
 	}
+	if chunks > 0 {
+		fmt.Printf("  chunk/: %d content-addressed chunks, %d bytes stored\n", chunks, chunkBytes)
+	}
 	return nil
 }
 
-// getDecoded fetches one object, transparently unwrapping the
-// compression frame; the note describes the codec and ratio for framed
-// objects ("" for plain ones).
-func getDecoded(store storage.ObjectReader, name string) (data []byte, note string, err error) {
-	raw, err := store.Get(name)
+// getDecoded fetches one object fully decoded — reassembled from its
+// chunk recipe and/or unwrapped from its compression frame as needed;
+// the note describes the recipe (chunk count, raw size) and the codec
+// ratio for framed objects ("" for plain ones).
+func getDecoded(stack, inner storage.ObjectReader, name string) (data []byte, note string, err error) {
+	raw, err := inner.Get(name)
 	if err != nil {
 		return nil, "", err
 	}
-	if !storage.IsFramed(raw) {
-		return raw, "", nil
+	decoded := raw
+	if storage.IsFramed(raw) {
+		var h storage.FrameHeader
+		decoded, h, err = storage.DecodeFrame(raw)
+		if err != nil {
+			return nil, "", err
+		}
+		note = fmt.Sprintf(" codec=%s %d->%dB (%.2fx)", h.Codec, h.RawSize, h.EncodedSize, h.Ratio())
 	}
-	decoded, h, err := storage.DecodeFrame(raw)
+	if !chunk.IsRecipe(decoded) {
+		return decoded, note, nil
+	}
+	refs, rawSize, err := chunk.DecodeRecipe(decoded)
 	if err != nil {
-		return nil, "", err
+		return nil, note, err
 	}
-	return decoded, fmt.Sprintf(" codec=%s %d->%dB (%.2fx)", h.Codec, h.RawSize, h.EncodedSize, h.Ratio()), nil
+	note += fmt.Sprintf(" dedup=%d chunks %dB raw", len(refs), rawSize)
+	data, err = stack.Get(name)
+	return data, note, err
 }
 
 func dump(path string, withStats bool) error {

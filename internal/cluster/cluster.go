@@ -76,6 +76,11 @@ type Stats struct {
 	// them would cross the tenant's Quota.MaxBytes — the skip policy
 	// applied to budget rather than time.
 	QuotaDroppedObjects int
+	// ObjectsReleased counts objects (data and manifests) the retention
+	// window aged out of the store's reference set (RunSpec.Retain on a
+	// storage.Retainer store). Released objects stay readable until the
+	// store's next GC sweep.
+	ObjectsReleased int
 
 	// Token-broker counters, populated only when the run has a broker.
 	// On a broker shared across tenants, every counter below is THIS
@@ -111,6 +116,7 @@ func (s *Stats) add(o Stats) {
 	s.BlocksLost += o.BlocksLost
 	s.ReroutedEdges += o.ReroutedEdges
 	s.QuotaDroppedObjects += o.QuotaDroppedObjects
+	s.ObjectsReleased += o.ObjectsReleased
 	s.TokenWaitTime += o.TokenWaitTime
 	s.TokenGrants += o.TokenGrants
 	s.TokensReclaimed += o.TokensReclaimed
@@ -206,6 +212,7 @@ func newTenantCluster(cc ClusterConfig, spec RunSpec, tenant int) (*Cluster, err
 			pending: map[int]*pendingIter{},
 			eofFrom: map[int]bool{},
 			stored:  map[int]bool{},
+			written: map[int]bool{},
 		}
 		a.avail = sync.NewCond(&a.mboxMu)
 		c.aggs[i] = a
@@ -305,6 +312,13 @@ func (c *Cluster) Stats() Stats {
 
 // Tenant returns the tenant id this cluster runs as (0 standalone).
 func (c *Cluster) Tenant() int { return c.tenant }
+
+// objectName is the deterministic name root node stores iteration it
+// under — shared by the write path and the retention release so the two
+// can never drift.
+func (c *Cluster) objectName(node, it int) string {
+	return fmt.Sprintf("%s-root%03d-it%06d", c.spec.JobName, node, it)
+}
 
 // rootTargets maps a root to its broker target window: one
 // BrokerStripes-wide window per aggregation tree, indexed by the
@@ -535,6 +549,7 @@ type aggregator struct {
 	pending  map[int]*pendingIter
 	eofFrom  map[int]bool
 	stored   map[int]bool // iterations this root has stored
+	written  map[int]bool // iterations whose object actually landed (retention)
 	dead     bool
 	reqCache []int // memoized live subtree, valid while reqEpoch holds
 	reqEpoch int
@@ -822,7 +837,7 @@ func (a *aggregator) emit(b *Batch, covered map[int]bool, partial bool) {
 		}
 	}
 
-	name := fmt.Sprintf("%s-root%03d-it%06d", c.spec.JobName, a.node, b.Iteration)
+	name := c.objectName(a.node, b.Iteration)
 	err := storage.PutVec(c.cc.Store, name, segs)
 	var manifestStored bool
 	if err == nil && !c.cc.DisableManifests {
@@ -839,6 +854,14 @@ func (a *aggregator) emit(b *Batch, covered map[int]bool, partial bool) {
 				m.Codec = info.Codec
 				m.RawBytes = info.RawBytes
 				m.EncodedBytes = info.EncodedBytes
+			}
+		}
+		if chi, ok := c.cc.Store.(storage.ObjectChunkInfoer); ok {
+			// A dedup store knows the object's content-addressed chunk
+			// set; the manifest (v2) records it, so a restart can walk
+			// the whole chunk dependency graph from manifests alone.
+			if info, known := chi.ObjectChunks(name); known {
+				m.setChunks(info)
 			}
 		}
 		if merr := c.cc.Store.Put(m.Name(), EncodeManifest(m)); merr != nil {
@@ -872,7 +895,51 @@ func (a *aggregator) emit(b *Batch, covered map[int]bool, partial bool) {
 	c.noteRootStored(b.Iteration)
 	c.mu.Unlock()
 	c.iterDone.Broadcast()
+	if err == nil {
+		a.releaseAged(b.Iteration)
+	}
 	if err != nil {
 		c.fail(fmt.Errorf("storing %s: %w", name, err))
+	}
+}
+
+// releaseAged applies the retention window after this root stored
+// iteration it: the root's object and manifest for iteration it-Retain
+// drop their store reference, making them collectable by the store's
+// next GC sweep. Only objects this root actually wrote are released
+// (quota-dropped iterations stored nothing), and eviction/cancel paths
+// never call this — so every object inside any tenant's window keeps
+// its reference, and a sweep can never break a retained restore.
+// written is goroutine-local to this aggregator's run().
+func (a *aggregator) releaseAged(it int) {
+	c := a.c
+	ret := c.spec.Retain
+	if ret <= 0 {
+		return
+	}
+	rt, ok := c.cc.Store.(storage.Retainer)
+	if !ok {
+		return
+	}
+	a.written[it] = true
+	old := it - ret
+	if !a.written[old] {
+		return
+	}
+	delete(a.written, old)
+	released := 0
+	oldName := c.objectName(a.node, old)
+	if rt.Release(oldName) == nil {
+		released++
+	}
+	if !c.cc.DisableManifests {
+		if rt.Release(oldName+ManifestSuffix) == nil {
+			released++
+		}
+	}
+	if released > 0 {
+		c.mu.Lock()
+		c.stats.ObjectsReleased += released
+		c.mu.Unlock()
 	}
 }

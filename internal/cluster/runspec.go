@@ -115,6 +115,14 @@ type RunSpec struct {
 	// entitled to twice the bytes of a weight-1 tenant before the
 	// broker considers it "ahead" (default 1).
 	Weight float64
+	// Retain is the checkpoint retention window in iterations (0 = keep
+	// everything). On a store with reference-lifecycle support
+	// (storage.Retainer — the dedup chunk store), each root that stores
+	// iteration N releases its object and manifest for iteration
+	// N-Retain: they stay readable until the store's next GC sweep,
+	// which reclaims them and every chunk only they referenced. On a
+	// plain store the field is ignored.
+	Retain int
 }
 
 // withDefaults fills the zero values in place.
@@ -172,6 +180,9 @@ type Config struct {
 	Hooks []Hook
 	// Failures schedules node deaths (nil or empty: no failures).
 	Failures *FailureSchedule
+	// Retain is the checkpoint retention window in iterations; see
+	// RunSpec.Retain.
+	Retain int
 }
 
 // split separates the flat single-tenant Config into its service-level
@@ -194,6 +205,7 @@ func (cfg Config) split() (ClusterConfig, RunSpec) {
 		JobName:  cfg.JobName,
 		Hooks:    cfg.Hooks,
 		Failures: cfg.Failures,
+		Retain:   cfg.Retain,
 	}
 	return cc, spec
 }

@@ -54,6 +54,15 @@ type Options struct {
 	// the R1/C1 runtime stores, "adaptive" selects per dataset, ""
 	// disables it. C1 sweeps its own codecs regardless of this.
 	Codec string
+	// Dedup wraps every run's backend in the content-addressed chunk
+	// store (the -dedup bench flag): DES runs charge chunk/hash CPU and
+	// forward only the assumed-new volume; runtime stores actually
+	// deduplicate. E10 sweeps its own overwrite fractions regardless.
+	Dedup bool
+	// Retain is the checkpoint retention window in iterations for
+	// runtime cluster runs over a dedup store (the -retain bench flag;
+	// 0 = keep everything). E10's GC leg uses it (default 2 there).
+	Retain int
 	// Scheduling coordinates dedicated-core writes in every Damaris run
 	// (the -sched bench flag): "", "none", "ost-token", "global-token"
 	// or "cluster-token". E6 sweeps its own policies regardless; set to
@@ -137,6 +146,7 @@ func (o Options) strategyConfig(cores int) iostrat.Config {
 		Fanout:     o.Fanout,
 		Codec:      o.Codec,
 		Scheduling: o.Scheduling,
+		Dedup:      o.Dedup,
 	}
 	if len(o.FailNodes) > 0 {
 		sched := cluster.NewFailureSchedule()

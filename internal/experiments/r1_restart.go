@@ -11,6 +11,7 @@ import (
 	"repro/internal/meta"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/storage/chunk"
 	"repro/internal/topology"
 )
 
@@ -209,6 +210,9 @@ func r1StoreName(opts Options) string {
 	if opts.Codec != "" {
 		name += "+" + opts.Codec
 	}
+	if opts.Dedup {
+		name += "+dedup"
+	}
 	return name
 }
 
@@ -245,6 +249,9 @@ func r1Store(opts Options, run int) (storage.Backend, error) {
 			return nil, err
 		}
 		be = storage.NewCompressing(be, storage.CompressionOptions{Codec: opts.Codec})
+	}
+	if opts.Dedup {
+		be = chunk.New(be, chunk.Options{})
 	}
 	return be, nil
 }

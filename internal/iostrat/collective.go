@@ -108,6 +108,8 @@ func runCollective(cfg Config) (Result, error) {
 	res.IOWindow = acc.IOBusyTime
 	res.BytesSaved = acc.BytesSaved
 	res.CodecCPUTime = acc.EncodeTime + acc.DecodeTime
+	res.DedupBytesSaved = acc.DedupBytesSaved
+	res.HashCPUTime = acc.ChunkHashTime
 	res.FilesCreated = w.Iterations
 	res.DrainTime = res.TotalTime
 	return res, nil

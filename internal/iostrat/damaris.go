@@ -374,6 +374,8 @@ func runDamaris(cfg Config) (Result, error) {
 	res.IOWindow = acc.IOBusyTime
 	res.BytesSaved = acc.BytesSaved
 	res.CodecCPUTime = acc.EncodeTime + acc.DecodeTime
+	res.DedupBytesSaved = acc.DedupBytesSaved
+	res.HashCPUTime = acc.ChunkHashTime
 	res.SchedWaitTime = acc.TokenWaitTime
 	res.RootContention = bs.ContendedGrants
 	res.DedicatedTotal = float64(plat.Nodes*dedicated) * drainEnd

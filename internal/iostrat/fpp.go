@@ -67,6 +67,8 @@ func runFPP(cfg Config) (Result, error) {
 	res.IOWindow = acc.IOBusyTime
 	res.BytesSaved = acc.BytesSaved
 	res.CodecCPUTime = acc.EncodeTime + acc.DecodeTime
+	res.DedupBytesSaved = acc.DedupBytesSaved
+	res.HashCPUTime = acc.ChunkHashTime
 	res.FilesCreated = ranks * w.Iterations
 	res.DrainTime = res.TotalTime
 	return res, nil

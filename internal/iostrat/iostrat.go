@@ -25,6 +25,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/storage/chunk"
 	"repro/internal/topology"
 )
 
@@ -170,6 +171,20 @@ type Config struct {
 	// — setting both resets CompressRatio to 1 so the cost is not
 	// charged twice.
 	Codec string
+	// Dedup wraps the backend in the content-addressed chunk store
+	// (internal/storage/chunk), outermost — dedup sees raw payload
+	// bytes and individual chunks ride the codec pipeline underneath.
+	// On the DES face every write is charged chunking+hashing CPU on
+	// the dedicated core and only the assumed-new fraction of the
+	// volume (plus recipe overhead) is forwarded to the backend; on
+	// backends that persist objects, payloads are actually
+	// deduplicated (E10).
+	Dedup bool
+	// DedupNewFraction is the DES-face assumption for the fraction of
+	// each write's chunks not already present in the store (default 1:
+	// every chunk is new, dedup saves nothing). E10's
+	// overwrite-fraction sweep varies it.
+	DedupNewFraction float64
 	// Failures schedules node deaths in tree mode (nil: none), the DES
 	// mirror of cluster.Config.Failures: when a scheduled node's
 	// dedicated core reaches its death iteration, the node's I/O stack
@@ -249,6 +264,12 @@ func (c Config) newBackend(eng *des.Engine, r *rng.Stream) (storage.Backend, err
 			Engine: eng,
 		})
 	}
+	if c.Dedup {
+		be = chunk.New(be, chunk.Options{
+			Engine:             eng,
+			AssumedNewFraction: c.DedupNewFraction,
+		})
+	}
 	if c.testWrapBackend != nil {
 		be = c.testWrapBackend(eng, be)
 	}
@@ -289,6 +310,14 @@ type Result struct {
 	// CodecCPUTime is the codec CPU charged on the dedicated cores by
 	// the Codec pipeline (encode plus decode).
 	CodecCPUTime float64
+	// DedupBytesSaved is the payload volume the Dedup chunk store kept
+	// off the backend transfer (0 without it); BytesWritten already
+	// reflects the deduplicated volume.
+	DedupBytesSaved float64
+	// HashCPUTime is the chunking/hashing CPU the Dedup store charged
+	// on the dedicated cores (write-side fingerprinting plus read-side
+	// verification).
+	HashCPUTime float64
 	// SchedWaitTime is the total virtual time dedicated cores spent
 	// waiting for a scheduling token (0 under SchedNone).
 	SchedWaitTime float64

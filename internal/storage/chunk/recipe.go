@@ -1,0 +1,131 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// The chunk recipe is the self-describing envelope the dedup store
+// writes under an object's own name once the payload has been split
+// into content-addressed chunks:
+//
+//	offset 0  magic "DCK1" (4 bytes)
+//	offset 4  chunk count, uint32 little-endian
+//	offset 8  total raw payload size, uint32 little-endian
+//	offset 12 count × entry: raw SHA-256 hash (32 bytes)
+//	                       + chunk raw size, uint32 little-endian
+//
+// Like the compression frame (DCF1), the recipe carries everything Get
+// needs to reassemble the object, so a store can be read back by a
+// process that knows nothing about how it was written — recipes and
+// chunks are plain objects on the inner backend. Objects written
+// without the dedup store (no magic) pass through untouched.
+
+// recipeMagic marks (and versions) the chunk-recipe envelope.
+var recipeMagic = []byte("DCK1")
+
+// recipeEntryLen is the per-chunk entry size: raw hash + size field.
+const recipeEntryLen = 32 + 4
+
+// recipeHeaderLen is the fixed envelope prefix: magic + count + raw size.
+const recipeHeaderLen = 4 + 4 + 4
+
+// ErrNotChunked is returned when an object does not start with the
+// recipe magic: it was stored without the dedup store. Callers should
+// test with errors.Is and use the bytes as they are.
+var ErrNotChunked = errors.New("chunk: object not a chunk recipe")
+
+// ErrCorruptRecipe is returned for an object that carries the recipe
+// magic but cannot be decoded: truncated header or chunk list, a chunk
+// count the payload cannot hold, sizes that do not sum to the declared
+// raw size, or a fetched chunk whose bytes hash to something other than
+// its recipe entry. Restore paths report it the same way they report
+// missing objects: the object is known but not recoverable.
+var ErrCorruptRecipe = errors.New("chunk: corrupt chunk recipe")
+
+// ErrDanglingChunk is returned by Get when a recipe references a chunk
+// the inner backend no longer stores — the dedup invariant (every
+// recipe's chunks outlive it) was broken, e.g. by an external delete or
+// a sweep racing a foreign process.
+var ErrDanglingChunk = errors.New("chunk: recipe references a missing chunk")
+
+// IsRecipe reports whether an object starts with the recipe magic.
+func IsRecipe(obj []byte) bool {
+	return len(obj) >= len(recipeMagic) && string(obj[:len(recipeMagic)]) == string(recipeMagic)
+}
+
+// EncodeRecipe serializes a chunk reference list (hex hashes + sizes in
+// payload order) into a recipe object.
+func EncodeRecipe(refs []storage.ChunkRef) ([]byte, error) {
+	var total int64
+	for _, r := range refs {
+		if r.Bytes <= 0 {
+			return nil, fmt.Errorf("chunk: recipe entry %q has size %d", r.Hash, r.Bytes)
+		}
+		total += int64(r.Bytes)
+	}
+	if total > int64(^uint32(0)) {
+		return nil, fmt.Errorf("chunk: %d-byte payload exceeds the 4 GiB recipe limit", total)
+	}
+	out := make([]byte, 0, recipeHeaderLen+len(refs)*recipeEntryLen)
+	out = append(out, recipeMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(refs)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(total))
+	for _, r := range refs {
+		raw, err := hex.DecodeString(r.Hash)
+		if err != nil || len(raw) != 32 {
+			return nil, fmt.Errorf("chunk: recipe entry hash %q is not 64 hex chars", r.Hash)
+		}
+		out = append(out, raw...)
+		out = binary.LittleEndian.AppendUint32(out, uint32(r.Bytes))
+	}
+	return out, nil
+}
+
+// DecodeRecipe parses a recipe object back into its chunk reference
+// list and declared raw size. Objects without the magic return
+// ErrNotChunked; anything structurally damaged returns ErrCorruptRecipe.
+// The chunk-count field is validated against the object's actual length
+// before any allocation, so a corrupt count cannot drive a giant
+// allocation.
+func DecodeRecipe(obj []byte) ([]storage.ChunkRef, int64, error) {
+	if !IsRecipe(obj) {
+		return nil, 0, fmt.Errorf("%w (%d bytes)", ErrNotChunked, len(obj))
+	}
+	rest := obj[len(recipeMagic):]
+	if len(rest) < 8 {
+		return nil, 0, fmt.Errorf("%w: truncated header", ErrCorruptRecipe)
+	}
+	count := int(binary.LittleEndian.Uint32(rest))
+	rawSize := int64(binary.LittleEndian.Uint32(rest[4:]))
+	rest = rest[8:]
+	if count < 0 || len(rest) != count*recipeEntryLen {
+		return nil, 0, fmt.Errorf("%w: %d entries declared, %d bytes of entries held",
+			ErrCorruptRecipe, count, len(rest))
+	}
+	refs := make([]storage.ChunkRef, count)
+	var sum int64
+	for i := range refs {
+		e := rest[i*recipeEntryLen:]
+		size := int(binary.LittleEndian.Uint32(e[32:36]))
+		if size <= 0 {
+			return nil, 0, fmt.Errorf("%w: entry %d has size %d", ErrCorruptRecipe, i, size)
+		}
+		refs[i] = storage.ChunkRef{Hash: hex.EncodeToString(e[:32]), Bytes: size}
+		sum += int64(size)
+	}
+	if sum != rawSize {
+		return nil, 0, fmt.Errorf("%w: entries sum to %d bytes, header says %d",
+			ErrCorruptRecipe, sum, rawSize)
+	}
+	return refs, rawSize, nil
+}
+
+// ChunkObjectName maps a content hash to the inner-backend object name
+// of its chunk. The "chunk/" prefix keeps the chunk namespace disjoint
+// from recipe/object names (SDF flattens the separator to "_").
+func ChunkObjectName(hash string) string { return "chunk/" + hash }

@@ -469,6 +469,22 @@ func (c *Compressing) Get(name string) ([]byte, error) {
 	return raw, nil
 }
 
+// Delete implements ObjectDeleter when the inner backend does,
+// dropping the local codec-info entry either way.
+func (c *Compressing) Delete(name string) error {
+	del, ok := c.Backend.(ObjectDeleter)
+	if !ok {
+		return fmt.Errorf("storage: backend %s cannot delete objects", c.Backend.Name())
+	}
+	err := del.Delete(name)
+	if err == nil {
+		c.mu.Lock()
+		delete(c.info, name)
+		c.mu.Unlock()
+	}
+	return err
+}
+
 // ObjectCodec implements ObjectCodecInfoer.
 func (c *Compressing) ObjectCodec(name string) (CodecInfo, bool) {
 	c.mu.Lock()

@@ -267,6 +267,19 @@ func (b *Memory) PutVec(name string, segs [][]byte) error {
 	return nil
 }
 
+// Delete implements ObjectDeleter: the object is dropped from memory.
+func (b *Memory) Delete(name string) error {
+	b.omu.Lock()
+	defer b.omu.Unlock()
+	d, ok := b.objects[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	b.objByte -= int64(len(d))
+	delete(b.objects, name)
+	return nil
+}
+
 // Get implements ObjectReader: a copy of the stored bytes.
 func (b *Memory) Get(name string) ([]byte, error) {
 	b.omu.Lock()

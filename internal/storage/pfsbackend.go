@@ -116,6 +116,20 @@ func (b *PFS) putSized(name string, size int64) error {
 	return nil
 }
 
+// Delete implements ObjectDeleter: the accounting entry is dropped (no
+// payload was ever retained).
+func (b *PFS) Delete(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	size, ok := b.objSize[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	b.objByte -= size
+	delete(b.objSize, name)
+	return nil
+}
+
 // Get implements ObjectReader. The read is charged to the ledger at the
 // object's recorded size, but the model retained no payload: a known
 // name returns ErrNoPayload, an unknown one ErrNotFound. Virtual read

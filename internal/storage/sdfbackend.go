@@ -206,6 +206,46 @@ func (b *SDF) Get(name string) ([]byte, error) {
 	return data, nil
 }
 
+// Delete implements ObjectDeleter: the object's SDF file is removed.
+// The collision guard applies like Get's — a name that merely flattens
+// to another object's file must not delete that object.
+func (b *SDF) Delete(name string) error {
+	if name == "" {
+		return fmt.Errorf("storage: empty object name")
+	}
+	path := b.objectPath(name)
+	b.omu.Lock()
+	defer b.omu.Unlock()
+	if prev, taken := b.owner[path]; taken && prev != name {
+		return fmt.Errorf("storage: object %q collides with %q (both flatten to %s)",
+			name, prev, path)
+	}
+	if _, known := b.objSize[name]; !known {
+		// Not stored by this process: the file may still exist from an
+		// earlier run — honor the delete if its name attribute matches.
+		if r, err := sdf.Open(path); err == nil {
+			stored, ok := r.AttrString("", "name")
+			r.Close()
+			if ok && stored != name {
+				return fmt.Errorf("storage: object %q collides with %q (both flatten to %s)",
+					name, stored, path)
+			}
+		}
+	}
+	if err := os.Remove(path); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		return err
+	}
+	if old, ok := b.objSize[name]; ok {
+		b.objByte -= old
+		delete(b.objSize, name)
+	}
+	delete(b.owner, path)
+	return nil
+}
+
 // List implements ObjectReader: the directory is scanned and each
 // file's unflattened name recovered from its name attribute (falling
 // back to the file name for objects written by other tools), so a

@@ -109,6 +109,31 @@ type Accounting struct {
 	// framed object was stored).
 	PerCodec map[string]CodecCount
 
+	// Dedup-store counters, populated only when the backend is wrapped
+	// in a content-addressed chunk store (internal/storage/chunk; zero
+	// otherwise).
+
+	// ChunkHashTime is the chunking + hashing CPU seconds charged on
+	// the dedicated cores — like the codec times, §IV.D spare time
+	// spent to earn DedupBytesSaved.
+	ChunkHashTime float64
+	// DedupBytesSaved is the simulated payload kept off the NIC/PFS
+	// transfer because the chunk store only forwards bytes it has not
+	// seen before (DES face), plus — on the real face — the raw bytes
+	// of chunks deduplicated against already-stored ones.
+	DedupBytesSaved float64
+	// ChunksStored and ChunksDeduped count real chunk objects written
+	// to the inner backend vs chunks satisfied by an existing stored
+	// copy, with their raw payload volumes.
+	ChunksStored      int
+	ChunksDeduped     int
+	ChunkBytesStored  int64
+	ChunkBytesDeduped int64
+	// ChunksCollected and ChunkBytesFreed count what refcount GC sweeps
+	// reclaimed from the inner backend.
+	ChunksCollected int
+	ChunkBytesFreed int64
+
 	// Token-broker counters, populated only when the run's writes were
 	// arbitrated by a TokenBroker (zero otherwise).
 
@@ -159,6 +184,70 @@ type ObjectReader interface {
 	// List returns the stored object names with the given prefix,
 	// ascending ("" lists everything).
 	List(prefix string) ([]string, error)
+}
+
+// ObjectDeleter is the optional delete face of a backend: remove a
+// stored object by name. The built-in backends implement it; wrappers
+// (Compressing, the chunk store) forward it to their inner backend.
+// Garbage collection (chunk.Store.Sweep) depends on it — a store
+// without it can only drop objects from its index, not free bytes.
+type ObjectDeleter interface {
+	// Delete removes the named object. Deleting a name that was never
+	// stored returns ErrNotFound. Implementations must be safe for
+	// concurrent use.
+	Delete(name string) error
+}
+
+// ChunkRef is one content-addressed chunk reference: the hash that
+// names the chunk object and the chunk's raw payload size. Manifests
+// (cluster manifest v2) embed chunk sets so a restart can see exactly
+// which stored chunks an iteration depends on without fetching any
+// payload.
+type ChunkRef struct {
+	// Hash is the chunk's content hash in lowercase hex (SHA-256, 64
+	// characters) — also the suffix of the chunk's object name.
+	Hash string `json:"hash"`
+	// Bytes is the chunk's raw payload size.
+	Bytes int `json:"bytes"`
+}
+
+// ChunkInfo records how one object was stored by a dedup chunk store.
+type ChunkInfo struct {
+	// Chunks lists the object's content-addressed chunk references in
+	// payload order (nil for objects stored raw, below the chunking
+	// threshold).
+	Chunks []ChunkRef
+	// RawBytes is the object's payload size before chunking.
+	RawBytes int64
+	// NewBytes is the payload volume actually written to the inner
+	// backend — the chunks no earlier object had already stored.
+	NewBytes int64
+}
+
+// ObjectChunkInfoer is implemented by stores that can report an
+// object's chunk decomposition (the dedup chunk store). Consumers test
+// for it with a type assertion, so plain backends keep working
+// unchanged — the same pattern as ObjectCodecInfoer.
+type ObjectChunkInfoer interface {
+	// ObjectChunks reports the chunk info recorded when name was stored
+	// through this process, and ok=false for unknown or pass-through
+	// objects.
+	ObjectChunks(name string) (ChunkInfo, bool)
+}
+
+// Retainer is the reference-lifecycle face of a store with garbage
+// collection: objects start live when Put, Retain pins them an extra
+// reference, Release drops one, and a sweep may collect whatever
+// reached zero. Consumers (cluster retention) test for it with a type
+// assertion, so stores without GC keep working unchanged.
+type Retainer interface {
+	// Retain adds one reference to a stored object, loading its chunk
+	// references from the store if this process has not seen it.
+	Retain(name string) error
+	// Release drops one reference. An object at zero references — and
+	// every chunk no live object references — becomes collectable by
+	// the next sweep.
+	Release(name string) error
 }
 
 // VecStore is the scatter-gather write face: store one object whose
