@@ -29,8 +29,8 @@ PPROF_PKG ?= .
 
 .PHONY: build test vet fmt fmt-check bench bench-json bench-compare \
 	pprof-cpu pprof-alloc cover-check tidy-check \
-	failure-race service-race chunk-race failure-smoke restart-smoke c1-smoke fuzz-smoke lint docs-check \
-	smoke-e1 smoke-e6 smoke-e6-cross smoke-f1 smoke-r1 smoke-c1 smoke-e9 smoke-e10 ci
+	failure-race service-race chunk-race stream-race failure-smoke restart-smoke c1-smoke fuzz-smoke lint docs-check \
+	smoke-e1 smoke-e6 smoke-e6-cross smoke-f1 smoke-r1 smoke-c1 smoke-e9 smoke-e10 smoke-e7s ci
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,12 @@ service-race:
 chunk-race:
 	$(GO) test -race -run 'Chunk|Dedup' ./internal/cluster ./internal/storage/chunk
 
+# Focused race-detector pass over the streaming pipeline: publisher vs
+# slow-consumer policies, subscriber churn during root failure, the
+# streaming hook racing the store write (see docs/STREAMING.md).
+stream-race:
+	$(GO) test -race -run 'Stream|Subscribe|Publish|InSitu' ./internal/storage ./internal/cluster ./internal/iostrat
+
 # Experiment smoke matrix — one target per experiment so a broken
 # experiment names itself in the CI job list (ci.yml fans these out via
 # strategy.matrix).
@@ -78,6 +84,11 @@ smoke-e9:
 # dedup sweep plus the retention/GC leg, on both faces.
 smoke-e10:
 	$(GO) run ./cmd/damaris-bench -quick -exp e10
+
+# E7S streaming pipeline at smoke scale: streaming vs file-then-read on
+# the runtime and DES faces, plus the slow-consumer policy sweep.
+smoke-e7s:
+	$(GO) run ./cmd/damaris-bench -quick -exp e7s
 
 smoke-f1: failure-smoke
 
@@ -193,5 +204,5 @@ cover-check:
 tidy-check:
 	$(GO) mod tidy -diff
 
-ci: build vet fmt-check tidy-check docs-check test failure-race service-race chunk-race cover-check bench \
-	smoke-e1 smoke-e6 smoke-e6-cross smoke-f1 smoke-r1 smoke-c1 smoke-e9 smoke-e10 fuzz-smoke
+ci: build vet fmt-check tidy-check docs-check test failure-race service-race chunk-race stream-race cover-check bench \
+	smoke-e1 smoke-e6 smoke-e6-cross smoke-f1 smoke-r1 smoke-c1 smoke-e9 smoke-e10 smoke-e7s fuzz-smoke

@@ -37,6 +37,12 @@
 //	damaris-bench -exp e9 -tenants 48 -arrival 0.1 -admission deadline
 //	                                               # pin one sweep point
 //
+// Streaming in-situ pipeline (experiment E7S and docs/STREAMING.md):
+//
+//	damaris-bench -exp e7s                         # streaming vs file-then-read, both faces
+//	damaris-bench -exp e7s -stream-policy block -stream-buffer 4
+//	                                               # pin the slow-consumer legs
+//
 // Incremental checkpoints (experiment E10 and the -dedup/-retain options):
 //
 //	damaris-bench -exp e10                         # overwrite-fraction sweep, both faces
@@ -63,7 +69,7 @@ import (
 
 func main() {
 	var (
-		expList     = flag.String("exp", "all", "comma-separated experiment ids (e1..e10,a1,a2,f1,r1,c1) or 'all'")
+		expList     = flag.String("exp", "all", "comma-separated experiment ids (e1..e10,e7s,a1,a2,f1,r1,c1) or 'all'")
 		quick       = flag.Bool("quick", false, "reduced scale for a fast smoke run")
 		seed        = flag.Uint64("seed", 2013, "root seed for all stochastic inputs")
 		iters       = flag.Int("iters", 0, "output phases per run (0 = default)")
@@ -83,6 +89,8 @@ func main() {
 		admission   = flag.String("admission", "", "E9: pin the admission policy (fifo, deadline, reject, degrade; empty sweeps all)")
 		dedup       = flag.Bool("dedup", false, "wrap every run's backend in the content-addressed dedup chunk store (E10 sweeps its own fractions)")
 		retain      = flag.Int("retain", 0, "checkpoint retention window in iterations for runtime runs over a dedup store (0 = keep everything)")
+		streamPol   = flag.String("stream-policy", "", "E7S: pin the slow-consumer policy (drop-oldest, block, sample; empty sweeps all on the DES face)")
+		streamBuf   = flag.Int("stream-buffer", 0, "E7S: per-subscriber queue capacity in iterations for the slow-consumer legs (0 = 1)")
 	)
 	flag.Parse()
 
@@ -123,6 +131,14 @@ func main() {
 	}
 	opts.Dedup = *dedup
 	opts.Retain = *retain
+	if *streamPol != "" {
+		if err := storage.ValidateSlowPolicy(*streamPol); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -stream-policy: %v\n", err)
+			os.Exit(2)
+		}
+		opts.StreamPolicy = *streamPol
+	}
+	opts.StreamBuffer = *streamBuf
 	opts.Tenants = *tenants
 	opts.ArrivalRate = *arrival
 	if *admission != "" {
@@ -160,40 +176,15 @@ func main() {
 	}
 	all := selected["all"]
 
-	type runner struct {
-		id  string
-		run func(experiments.Options) (experiments.Report, error)
-	}
-	runners := []runner{
-		{"e1", func(o experiments.Options) (experiments.Report, error) {
-			r, err := experiments.RunE1(o)
-			return r.Report, err
-		}},
-		{"e2", experiments.RunE2},
-		{"e3", experiments.RunE3},
-		{"e4", experiments.RunE4},
-		{"e5", experiments.RunE5},
-		{"e6", experiments.RunE6},
-		{"e7", experiments.RunE7},
-		{"e8", experiments.RunE8},
-		{"a1", experiments.RunA1},
-		{"a2", experiments.RunA2},
-		{"f1", experiments.RunF1},
-		{"r1", experiments.RunR1},
-		{"c1", experiments.RunC1},
-		{"e9", experiments.RunE9},
-		{"e10", experiments.RunE10},
-	}
-
 	failures := 0
-	for _, r := range runners {
-		if !all && !selected[r.id] {
+	for _, r := range experiments.Registry() {
+		if !all && !selected[r.ID] {
 			continue
 		}
 		start := time.Now()
-		rep, err := r.run(opts)
+		rep, err := r.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
 			failures++
 			continue
 		}

@@ -7,11 +7,17 @@
 //   - every Go package — root, internal/..., cmd/..., examples/... —
 //     carries a package comment ("// Package xxx ..." or a command
 //     comment on package main);
-//   - in the hot-path packages (see docDepthDirs), every exported
+//   - in the contract packages (see docDepthDirs), every exported
 //     top-level identifier — funcs, methods, types, consts, vars —
-//     carries a doc comment. Those packages are the performance
-//     surface documented by docs/PERFORMANCE.md, and an undocumented
-//     export there is documentation rot.
+//     carries a doc comment. Those packages are the performance and
+//     streaming surface documented by docs/PERFORMANCE.md and
+//     docs/STREAMING.md, and an undocumented export there is
+//     documentation rot;
+//   - every experiment in experiments.Registry() has its own section
+//     heading in docs/EXPERIMENTS.md, so a runner cannot land without
+//     its documentation;
+//   - every flag cmd/damaris-bench defines is mentioned in README.md,
+//     so the CLI reference cannot drift behind the binary.
 //
 // Usage:
 //
@@ -31,6 +37,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"repro/internal/experiments"
 )
 
 // skipDirs are trees that hold no sources or docs of ours.
@@ -43,6 +51,8 @@ func main() {
 	problems = append(problems, checkMarkdownLinks(*root)...)
 	problems = append(problems, checkPackageComments(*root)...)
 	problems = append(problems, checkExportedDocs(*root)...)
+	problems = append(problems, checkExperimentDocs(*root)...)
+	problems = append(problems, checkBenchFlags(*root)...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -125,12 +135,17 @@ func stripCodeFences(s string) string {
 // docDepthDirs are the packages held to the stricter standard: every
 // exported top-level identifier must carry a doc comment. These are
 // the hot-path packages reworked by the performance pass (see
-// docs/PERFORMANCE.md) — their exported surface is the contract the
-// benchmarks and the pooling rules hang off.
+// docs/PERFORMANCE.md) plus the streaming/in-situ surface documented
+// by docs/STREAMING.md — their exported surface is the contract the
+// benchmarks, the pooling rules and the subscriber API hang off.
 var docDepthDirs = []string{
 	"internal/des",
 	"internal/core",
 	"internal/buf",
+	"internal/storage",
+	"internal/cluster",
+	"internal/insitu",
+	"internal/visitsim",
 	"cmd/benchcompare",
 	"cmd/benchjson",
 }
@@ -237,6 +252,85 @@ func receiverExported(recv *ast.FieldList) bool {
 			return false
 		}
 	}
+}
+
+// checkExperimentDocs requires a docs/EXPERIMENTS.md section heading
+// for every experiment in experiments.Registry(): a `##` heading must
+// name the upper-case id as a whole word, so E1 cannot satisfy E10's
+// requirement (or vice versa).
+func checkExperimentDocs(root string) []string {
+	path := filepath.Join(root, "docs", "EXPERIMENTS.md")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v (required by the experiment registry)", path, err)}
+	}
+	var headings []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "##") {
+			headings = append(headings, line)
+		}
+	}
+	var problems []string
+	for _, e := range experiments.Registry() {
+		id := strings.ToUpper(e.ID)
+		re := regexp.MustCompile(`\b` + regexp.QuoteMeta(id) + `\b`)
+		found := false
+		for _, h := range headings {
+			if re.MatchString(h) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf(
+				"%s: no section heading for experiment %s (%s)", path, id, e.Title))
+		}
+	}
+	return problems
+}
+
+// checkBenchFlags requires every flag cmd/damaris-bench defines to be
+// mentioned in README.md as `-name`, keeping the CLI reference in sync
+// with the binary. Flags are collected from the AST — any flag.Xxx
+// ("name", ...) call — so a new flag cannot land undocumented.
+func checkBenchFlags(root string) []string {
+	src := filepath.Join(root, "cmd", "damaris-bench", "main.go")
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, src, nil, 0)
+	if err != nil {
+		return []string{fmt.Sprintf("parsing %s: %v", src, err)}
+	}
+	var flags []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "flag" {
+			return true
+		}
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			flags = append(flags, strings.Trim(lit.Value, `"`))
+		}
+		return true
+	})
+	readmePath := filepath.Join(root, "README.md")
+	readme, err := os.ReadFile(readmePath)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v (required by the bench flag check)", readmePath, err)}
+	}
+	var problems []string
+	for _, name := range flags {
+		if !strings.Contains(string(readme), "-"+name) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: damaris-bench flag -%s is not documented", readmePath, name))
+		}
+	}
+	return problems
 }
 
 // checkPackageComments requires a package comment in every directory

@@ -79,6 +79,14 @@ type Options struct {
 	// (the -admission bench flag: fifo, deadline, reject, degrade);
 	// empty sweeps all four and runs the cross-policy checks.
 	Admission cluster.AdmissionPolicy
+	// StreamPolicy pins E7S's slow-consumer policy (the -stream-policy
+	// bench flag: drop-oldest, block, sample); empty runs drop-oldest
+	// on the runtime face and sweeps all three on the DES face.
+	StreamPolicy string
+	// StreamBuffer is the per-subscriber queue capacity in iterations
+	// for E7S's slow-consumer legs (the -stream-buffer bench flag;
+	// 0 = 1, the tightest bound on staleness).
+	StreamBuffer int
 }
 
 // Default returns the paper-scale options: the Kraken sweep up to 9216

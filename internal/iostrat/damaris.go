@@ -190,6 +190,9 @@ func runDamaris(cfg Config) (Result, error) {
 	if err := ValidateScheduling(cfg.Scheduling); err != nil {
 		return Result{}, err
 	}
+	if err := cfg.InSitu.validate(cfg.Fanout >= 2); err != nil {
+		return Result{}, err
+	}
 	eng := des.NewEngine()
 	root := rng.New(cfg.Seed, 3)
 	be, err := cfg.newBackend(eng, root.Named("pfs"))
@@ -308,6 +311,22 @@ func runDamaris(cfg Config) (Result, error) {
 			writeEnd:    make([]float64, w.Iterations),
 			phaseStart:  phaseStart,
 			computeTime: computeTime,
+			liveNodes:   plat.Nodes,
+		}
+		if cfg.InSitu.Mode != InSituOff {
+			// One bounded frame queue and one analysis consumer per root
+			// ordinal — a promoted root inherits its predecessor's queue
+			// along with the stripe window.
+			tr.insituQs = make([]*insituQ, len(tree.Roots()))
+			for i := range tr.insituQs {
+				tr.insituQs[i] = &insituQ{
+					eng:      eng,
+					capacity: cfg.InSitu.Buffer,
+					policy:   cfg.InSitu.Policy,
+				}
+				ord := i
+				eng.Spawn("insitu", func(p *des.Proc) { tr.runConsumer(p, ord) })
+			}
 		}
 	}
 	for n := 0; n < plat.Nodes; n++ {
@@ -402,6 +421,9 @@ func runDamaris(cfg Config) (Result, error) {
 		for _, s := range shms {
 			res.LostBytes += s.lost
 		}
+		for _, q := range tr.insituQs {
+			res.FramesDropped += q.dropped
+		}
 	}
 	return res, nil
 }
@@ -421,6 +443,24 @@ type treeRun struct {
 	writeEnd    []float64 // per iteration, last root-write completion
 	phaseStart  []float64
 	computeTime float64
+	// insituQs holds one analysis frame queue per root ordinal (nil
+	// when Config.InSitu is off); liveNodes counts dedicated cores
+	// still running, so the queues close — releasing the consumer
+	// procs — exactly when no publisher remains.
+	insituQs  []*insituQ
+	liveNodes int
+}
+
+// nodeDone retires one dedicated core; the last one out closes every
+// in-situ queue so consumers drain their backlog and exit (the engine
+// treats an eternally parked proc as a deadlock).
+func (tr *treeRun) nodeDone() {
+	tr.liveNodes--
+	if tr.liveNodes == 0 {
+		for _, q := range tr.insituQs {
+			q.close()
+		}
+	}
 }
 
 // deadline is when iteration it's spare window closes: the next output
@@ -438,6 +478,7 @@ func (tr *treeRun) deadline(it int) float64 {
 // failure elsewhere can re-route this node or promote it to root
 // mid-run; a node's own scheduled death ends its loop.
 func (tr *treeRun) runNode(p *des.Proc, shm *nodeShm, node int) {
+	defer tr.nodeDone()
 	cfg, be, res, tree := tr.cfg, tr.be, tr.res, tr.tree
 	plat := cfg.Platform
 	numRoots := len(tree.Roots())
@@ -492,6 +533,13 @@ func (tr *treeRun) runNode(p *des.Proc, shm *nodeShm, node int) {
 			deliverUp(tree, tr.aggs, res, parent, item.iter, subtree, covers)
 		} else {
 			tr.rootCovered[item.iter] += len(covers)
+			if cfg.InSitu.Mode == InSituStream {
+				// Streaming coupling: the consumer sees the merged frame
+				// the moment aggregation completes, overlapped with the
+				// write below. Only a Block-policy consumer can delay the
+				// write path here (measured in StreamBlockTime).
+				tr.publishInSitu(p, node, shmIter{iter: item.iter, bytes: subtree})
+			}
 			if subtree > 0 {
 				files := cfg.FilesPerIter
 				per := subtree / float64(files)
@@ -523,6 +571,12 @@ func (tr *treeRun) runNode(p *des.Proc, shm *nodeShm, node int) {
 				if p.Now() > tr.writeEnd[item.iter] {
 					tr.writeEnd[item.iter] = p.Now()
 				}
+			}
+			if cfg.InSitu.Mode == InSituFile {
+				// File-then-read coupling: the frame is only announced
+				// once the object is durable; the consumer pays the
+				// read-back before analyzing.
+				tr.publishInSitu(p, node, shmIter{iter: item.iter, bytes: subtree})
 			}
 		}
 		busy += p.Now() - t1

@@ -1,0 +1,238 @@
+package iostrat
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/storage"
+)
+
+// InSituMode selects how the DES face couples analysis consumers to the
+// aggregation-tree roots — the virtual-time mirror of the runtime
+// streaming face (storage.Stream + cluster.NewStreamingHook).
+type InSituMode string
+
+const (
+	// InSituOff runs no in-situ analysis (the default).
+	InSituOff InSituMode = ""
+	// InSituStream hands each root's merged iteration to its analysis
+	// consumer the moment aggregation completes, before and overlapped
+	// with the backend write — the streaming pipeline.
+	InSituStream InSituMode = "stream"
+	// InSituFile publishes only after the root's backend write
+	// completed, and the consumer pays a striped read-back before
+	// analyzing — the file-then-read baseline the E7 extension compares
+	// streaming against.
+	InSituFile InSituMode = "file"
+)
+
+// InSituModes lists the couplings the E7 extension sweeps.
+func InSituModes() []InSituMode { return []InSituMode{InSituStream, InSituFile} }
+
+// ValidateInSituMode rejects unknown coupling names before a run starts.
+func ValidateInSituMode(m InSituMode) error {
+	switch m {
+	case InSituOff, InSituStream, InSituFile:
+		return nil
+	}
+	return fmt.Errorf("iostrat: unknown in-situ mode %q (have %v)", m, InSituModes())
+}
+
+// InSituConfig prices the paper's §V in-situ story at multi-node scale:
+// one analysis consumer per aggregation-tree root, running on the
+// root's dedicated-core spare time, fed through a bounded queue with
+// the same slow-consumer policies as the runtime streaming face.
+// Tree mode (Config.Fanout >= 2) only.
+type InSituConfig struct {
+	// Mode selects the coupling (InSituOff disables everything).
+	Mode InSituMode
+	// AnalysisBandwidth is the consumer's kernel throughput in raw
+	// bytes/s — how fast the dedicated core chews through a frame
+	// (default 1 GB/s). Lowering it below the production rate makes the
+	// consumer "slow" and exercises the policy.
+	AnalysisBandwidth float64
+	// Buffer is the per-root queue capacity in iterations (default
+	// storage.DefaultStreamBuffer). It bounds staleness: under
+	// DropOldest a consumer is never more than Buffer frames behind its
+	// root.
+	Buffer int
+	// Policy is the slow-consumer policy (default storage.DropOldest).
+	// storage.Block models backpressure without a timeout on this face:
+	// the publisher — the root's write path — waits for queue space,
+	// and the wait is measured in Result.StreamBlockTime (and visible
+	// in TreeWriteLatencies). The runtime face adds the detach timeout.
+	Policy storage.SlowPolicy
+}
+
+func (c InSituConfig) withDefaults() InSituConfig {
+	if c.AnalysisBandwidth <= 0 {
+		c.AnalysisBandwidth = 1e9
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = storage.DefaultStreamBuffer
+	}
+	if c.Policy == "" {
+		c.Policy = storage.DropOldest
+	}
+	return c
+}
+
+// validate rejects a configuration the DES face cannot run.
+func (c InSituConfig) validate(treeMode bool) error {
+	if c.Mode == InSituOff {
+		return nil
+	}
+	if err := ValidateInSituMode(c.Mode); err != nil {
+		return err
+	}
+	if !treeMode {
+		return fmt.Errorf("iostrat: in-situ coupling requires tree mode (Fanout >= 2)")
+	}
+	return storage.ValidateSlowPolicy(string(c.Policy))
+}
+
+// insituQ is the DES counterpart of a storage.Subscription: one root's
+// bounded frame queue between its dedicated core (publisher) and its
+// analysis consumer proc, with des.Future parking instead of mutexes —
+// the same discipline as nodeShm. One publisher (the node currently
+// owning the root ordinal) and one consumer per queue.
+type insituQ struct {
+	eng      *des.Engine
+	capacity int
+	policy   storage.SlowPolicy
+	pending  []shmIter
+	waiting  *des.Future // consumer parked on an empty queue
+	space    *des.Future // Block-policy publisher parked on a full queue
+	closed   bool
+	dropped  int
+}
+
+// publish offers one frame under the queue's policy and returns how
+// long the publisher was blocked (non-zero only under storage.Block).
+func (q *insituQ) publish(p *des.Proc, item shmIter) float64 {
+	blocked := 0.0
+	for {
+		if q.closed {
+			return blocked
+		}
+		if len(q.pending) < q.capacity {
+			q.pending = append(q.pending, item)
+			q.wakeConsumer()
+			return blocked
+		}
+		switch q.policy {
+		case storage.Sample:
+			q.dropped++
+			return blocked
+		case storage.Block:
+			t0 := p.Now()
+			q.space = q.eng.NewFuture()
+			p.Await(q.space)
+			blocked += p.Now() - t0
+		default: // storage.DropOldest
+			q.pending = q.pending[1:]
+			q.dropped++
+		}
+	}
+}
+
+// take blocks the consumer until a frame is pending, draining the
+// backlog before honouring closure.
+func (q *insituQ) take(p *des.Proc) (shmIter, bool) {
+	for len(q.pending) == 0 {
+		if q.closed {
+			return shmIter{}, false
+		}
+		q.waiting = q.eng.NewFuture()
+		p.Await(q.waiting)
+	}
+	item := q.pending[0]
+	q.pending = q.pending[1:]
+	if q.space != nil {
+		f := q.space
+		q.space = nil
+		f.Complete()
+	}
+	return item, true
+}
+
+func (q *insituQ) wakeConsumer() {
+	if q.waiting != nil {
+		f := q.waiting
+		q.waiting = nil
+		f.Complete()
+	}
+}
+
+// close ends the stream: the consumer drains what is queued and exits;
+// a parked Block publisher is released.
+func (q *insituQ) close() {
+	q.closed = true
+	q.wakeConsumer()
+	if q.space != nil {
+		f := q.space
+		q.space = nil
+		f.Complete()
+	}
+}
+
+// publishInSitu hands a completed root frame to the root's consumer
+// queue (no-op when in-situ is off), charging any Block-policy wait to
+// the publisher and the run's StreamBlockTime.
+func (tr *treeRun) publishInSitu(p *des.Proc, node int, item shmIter) {
+	if tr.insituQs == nil || item.bytes <= 0 {
+		return
+	}
+	q := tr.insituQs[tr.rootOrdinal[node]]
+	if blocked := q.publish(p, item); blocked > 0 {
+		tr.res.StreamBlockTime += blocked
+	}
+}
+
+// closeInSituOrdinal ends one root ordinal's stream (no-op when
+// in-situ is off).
+func (tr *treeRun) closeInSituOrdinal(ord int) {
+	if tr.insituQs != nil {
+		tr.insituQs[ord].close()
+	}
+}
+
+// runConsumer is one root's analysis consumer: a proc on the root's
+// dedicated-core pool that drains the frame queue and pays analysis
+// CPU per frame — §V's visualization running on the cores' spare time.
+// Under InSituFile each frame additionally pays the striped read-back
+// of the root object before any kernel runs (the file-then-read
+// baseline); under InSituStream the frame is already in memory.
+func (tr *treeRun) runConsumer(p *des.Proc, ord int) {
+	cfg, be, res := tr.cfg, tr.be, tr.res
+	q := tr.insituQs[ord]
+	numRoots := len(tr.tree.Roots())
+	stripes := rootStripes(cfg, be.Targets(), numRoots)
+	for {
+		item, ok := q.take(p)
+		if !ok {
+			return
+		}
+		if cfg.InSitu.Mode == InSituFile {
+			// Read the just-written root object back through the same
+			// stripe window the write used; the read competes with
+			// whatever the storage system is serving.
+			base := (ord * stripes) % be.Targets()
+			futs := make([]*des.Future, stripes)
+			for s := 0; s < stripes; s++ {
+				futs[s] = be.ReadAsync((base+s)%be.Targets(), item.bytes/float64(stripes),
+					storage.BigSequential)
+			}
+			for _, f := range futs {
+				p.Await(f)
+			}
+		}
+		cpu := item.bytes / cfg.InSitu.AnalysisBandwidth
+		p.Wait(cpu)
+		res.AnalysisCPUTime += cpu
+		res.DedicatedBusy += cpu // analysis rides the dedicated cores
+		res.FramesAnalyzed++
+		res.AnalysisLatencies = append(res.AnalysisLatencies,
+			p.Now()-tr.phaseStart[item.iter])
+	}
+}

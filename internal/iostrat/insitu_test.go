@@ -1,0 +1,209 @@
+package iostrat
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+// insituConfig is treeConfig with an analysis consumer coupled to the
+// tree roots.
+func insituConfig(mode InSituMode) Config {
+	cfg := treeConfig()
+	cfg.InSitu = InSituConfig{Mode: mode, AnalysisBandwidth: 5e9}
+	return cfg
+}
+
+func TestInSituValidation(t *testing.T) {
+	cfg := treeConfig()
+	cfg.Fanout = 0 // baseline mode: no tree roots to couple to
+	cfg.InSitu.Mode = InSituStream
+	if _, err := Run(Damaris, cfg); err == nil {
+		t.Fatal("in-situ without tree mode must be rejected")
+	}
+	cfg = insituConfig("bogus")
+	if _, err := Run(Damaris, cfg); err == nil {
+		t.Fatal("unknown in-situ mode must be rejected")
+	}
+	cfg = insituConfig(InSituStream)
+	cfg.InSitu.Policy = "bogus"
+	if _, err := Run(Damaris, cfg); err == nil {
+		t.Fatal("unknown slow-consumer policy must be rejected")
+	}
+	if err := ValidateInSituMode(InSituFile); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInSituFastConsumerAnalyzesEverything: a consumer faster than the
+// production rate analyzes every frame under every mode and policy,
+// dropping nothing.
+func TestInSituFastConsumerAnalyzesEverything(t *testing.T) {
+	for _, mode := range InSituModes() {
+		for _, pol := range storage.SlowPolicies() {
+			cfg := insituConfig(mode)
+			cfg.InSitu.Policy = pol
+			res, err := Run(Damaris, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mode, pol, err)
+			}
+			// 1 root (16 nodes, fanout 4) × 3 iterations.
+			if want := cfg.Workload.Iterations; res.FramesAnalyzed != want {
+				t.Errorf("%s/%s: FramesAnalyzed = %d, want %d", mode, pol, res.FramesAnalyzed, want)
+			}
+			if res.FramesDropped != 0 {
+				t.Errorf("%s/%s: FramesDropped = %d, want 0", mode, pol, res.FramesDropped)
+			}
+			if res.AnalysisCPUTime <= 0 {
+				t.Errorf("%s/%s: no analysis CPU charged", mode, pol)
+			}
+			if len(res.AnalysisLatencies) != res.FramesAnalyzed {
+				t.Errorf("%s/%s: %d latencies for %d frames", mode, pol,
+					len(res.AnalysisLatencies), res.FramesAnalyzed)
+			}
+			for i, l := range res.AnalysisLatencies {
+				if l <= 0 {
+					t.Errorf("%s/%s: latency[%d] = %v", mode, pol, i, l)
+				}
+			}
+		}
+	}
+}
+
+// TestInSituStreamBeatsFile: the headline shape of the E7 extension on
+// the DES face — for a fast consumer, streaming's end-to-end analysis
+// latency undercuts file-then-read, which pays write completion plus
+// the read-back first. Bytes on storage are identical (streaming rides
+// along, it does not replace the write).
+func TestInSituStreamBeatsFile(t *testing.T) {
+	stream, err := Run(Damaris, insituConfig(InSituStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := Run(Damaris, insituConfig(InSituFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, f := stream.MeanAnalysisLatency(), file.MeanAnalysisLatency(); s >= f {
+		t.Errorf("stream latency %v not below file-then-read %v", s, f)
+	}
+	if stream.BytesWritten != file.BytesWritten {
+		t.Errorf("coupling changed stored bytes: %v vs %v", stream.BytesWritten, file.BytesWritten)
+	}
+	// The read-back is the difference: only the file coupling grows
+	// BytesRead on the backend (visible as extra analysis latency).
+	if file.MeanAnalysisLatency()-stream.MeanAnalysisLatency() <= 0 {
+		t.Error("file coupling paid no read-back cost")
+	}
+}
+
+// TestInSituSlowConsumerPolicies: a consumer much slower than the
+// production rate. Drop-oldest must leave the write path untouched and
+// drop frames; block must leave no frame behind but stall the
+// publisher (visible in StreamBlockTime); sample must never block.
+func TestInSituSlowConsumerPolicies(t *testing.T) {
+	slow := func(pol storage.SlowPolicy) Config {
+		cfg := insituConfig(InSituStream)
+		cfg.Workload.Iterations = 6
+		cfg.InSitu.AnalysisBandwidth = 10e6 // far below production rate
+		cfg.InSitu.Buffer = 1
+		cfg.InSitu.Policy = pol
+		return cfg
+	}
+	base := slow(storage.DropOldest)
+	base.InSitu.Mode = InSituOff
+	noInsitu, err := Run(Damaris, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drop, err := Run(Damaris, slow(storage.DropOldest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drop.FramesDropped == 0 {
+		t.Error("drop-oldest under a slow consumer dropped nothing")
+	}
+	if drop.StreamBlockTime != 0 {
+		t.Errorf("drop-oldest blocked the publisher for %v", drop.StreamBlockTime)
+	}
+	// The write path must be untouched: per-iteration root-write
+	// latency identical to a run with no in-situ coupling at all.
+	for it, l := range drop.TreeWriteLatencies {
+		if base := noInsitu.TreeWriteLatencies[it]; l != base {
+			t.Errorf("iteration %d: drop-oldest write latency %v != baseline %v", it, l, base)
+		}
+	}
+
+	block, err := Run(Damaris, slow(storage.Block))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.FramesDropped != 0 {
+		t.Errorf("block policy dropped %d frames", block.FramesDropped)
+	}
+	if block.StreamBlockTime <= 0 {
+		t.Error("block policy under a slow consumer measured no backpressure")
+	}
+	if block.FramesAnalyzed != 6 {
+		t.Errorf("block policy analyzed %d frames, want all 6", block.FramesAnalyzed)
+	}
+
+	sample, err := Run(Damaris, slow(storage.Sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample.StreamBlockTime != 0 {
+		t.Errorf("sample policy blocked the publisher for %v", sample.StreamBlockTime)
+	}
+	if sample.FramesAnalyzed+sample.FramesDropped != 6 {
+		t.Errorf("sample accounting: %d analyzed + %d dropped != 6 offered",
+			sample.FramesAnalyzed, sample.FramesDropped)
+	}
+}
+
+// TestInSituDeterministic: same seed, same frames, same latencies.
+func TestInSituDeterministic(t *testing.T) {
+	a, err := Run(Damaris, insituConfig(InSituStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Damaris, insituConfig(InSituStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FramesAnalyzed != b.FramesAnalyzed || a.AnalysisCPUTime != b.AnalysisCPUTime {
+		t.Fatal("in-situ run not deterministic")
+	}
+	for i := range a.AnalysisLatencies {
+		if a.AnalysisLatencies[i] != b.AnalysisLatencies[i] {
+			t.Fatalf("latency %d differs: %v vs %v", i, a.AnalysisLatencies[i], b.AnalysisLatencies[i])
+		}
+	}
+}
+
+// TestInSituSurvivesRootFailure: killing a root mid-run promotes a
+// sibling that inherits the consumer queue; the run completes and the
+// surviving roots' frames keep flowing.
+func TestInSituSurvivesRootFailure(t *testing.T) {
+	cfg := insituConfig(InSituStream)
+	cfg.AggRoots = 2
+	cfg.Workload.Iterations = 4
+	rootID := cluster.NewTree(cfg.Platform.Nodes, cfg.Fanout, 2).Roots()[0]
+	cfg.Failures = cluster.NewFailureSchedule().Add(rootID, 1)
+	res, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesFailed != 1 {
+		t.Fatalf("NodesFailed = %d, want 1", res.NodesFailed)
+	}
+	if res.FramesAnalyzed == 0 {
+		t.Fatal("no frames analyzed after a root failure")
+	}
+	// Analysis CPU rides the dedicated cores' ledger.
+	if res.DedicatedBusy < res.AnalysisCPUTime {
+		t.Fatalf("DedicatedBusy %v below AnalysisCPUTime %v", res.DedicatedBusy, res.AnalysisCPUTime)
+	}
+}

@@ -185,6 +185,12 @@ type Config struct {
 	// every chunk is new, dedup saves nothing). E10's
 	// overwrite-fraction sweep varies it.
 	DedupNewFraction float64
+	// InSitu couples an analysis consumer to every aggregation-tree
+	// root (tree mode only): the DES mirror of the runtime streaming
+	// face, pricing analysis CPU against dedicated-core spare time and
+	// sweeping stream vs file-then-read couplings (the E7 extension).
+	// See InSituConfig. The zero value disables it.
+	InSitu InSituConfig
 	// Failures schedules node deaths in tree mode (nil: none), the DES
 	// mirror of cluster.Config.Failures: when a scheduled node's
 	// dedicated core reaches its death iteration, the node's I/O stack
@@ -239,6 +245,7 @@ func (c Config) withDefaults() Config {
 	if c.Backend == "" {
 		c.Backend = storage.KindPFS
 	}
+	c.InSitu = c.InSitu.withDefaults()
 	if c.Fanout >= 2 && c.AggRoots == 0 {
 		c.AggRoots = c.Platform.Nodes / (c.Fanout * c.Fanout)
 		if c.AggRoots < 1 {
@@ -359,6 +366,36 @@ type Result struct {
 	// iteration completed, token waits included — the per-iteration
 	// write tail the cross-root schedule is meant to flatten.
 	TreeWriteLatencies []float64
+
+	// In-situ measurements (tree mode with Config.InSitu).
+
+	// FramesAnalyzed counts root frames the analysis consumers fully
+	// processed; FramesDropped counts frames the slow-consumer policy
+	// discarded (evicted under drop-oldest, refused under sample).
+	FramesAnalyzed int
+	FramesDropped  int
+	// AnalysisCPUTime is the kernel CPU the consumers charged on the
+	// dedicated cores — §V spare time spent on analysis, also included
+	// in DedicatedBusy.
+	AnalysisCPUTime float64
+	// StreamBlockTime is the total time publishers (root write paths)
+	// spent blocked on a full consumer queue — non-zero only under the
+	// storage.Block policy, and the write-path cost E7's extension
+	// shows drop-oldest avoiding.
+	StreamBlockTime float64
+	// AnalysisLatencies has one entry per analyzed frame: from the
+	// frame's output-phase start until its analysis completed — the
+	// end-to-end freshness metric streaming is meant to shrink.
+	AnalysisLatencies []float64
+}
+
+// MeanAnalysisLatency returns the mean end-to-end analysis latency
+// (0 without in-situ frames).
+func (r Result) MeanAnalysisLatency() float64 {
+	if len(r.AnalysisLatencies) == 0 {
+		return 0
+	}
+	return stats.Mean(r.AnalysisLatencies)
 }
 
 // WriteTailSpread returns the standard deviation of the per-iteration

@@ -1,0 +1,36 @@
+package storage_test
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Example_subscribe wraps a backend with the streaming face, attaches
+// a bounded subscriber, and receives each stored object live — the
+// consumer side of the in-situ pipeline (see docs/STREAMING.md).
+func Example_subscribe() {
+	st := storage.NewStreaming(storage.NewMemory(nil, 4, 1e9))
+	sub := st.Subscribe(storage.SubOptions{Buffer: 4, Policy: storage.DropOldest})
+
+	for it := 0; it < 3; it++ {
+		name := fmt.Sprintf("job-root000-it%06d", it)
+		if err := st.Put(name, []byte{byte(it)}); err != nil {
+			fmt.Println("put:", err)
+			return
+		}
+	}
+	st.CloseStream()
+
+	for {
+		msg, err := sub.Recv()
+		if err != nil {
+			return // ErrStreamClosed after the backlog drains
+		}
+		fmt.Printf("seq %d: %s (%d bytes)\n", msg.Seq, msg.Name, len(msg.Data))
+	}
+	// Output:
+	// seq 1: job-root000-it000000 (1 bytes)
+	// seq 2: job-root000-it000001 (1 bytes)
+	// seq 3: job-root000-it000002 (1 bytes)
+}

@@ -1,0 +1,523 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrStreamClosed is returned by Subscription.Recv after the stream is
+// closed (or the subscription cancelled) and the queued backlog has
+// been drained. Callers should test with errors.Is.
+var ErrStreamClosed = errors.New("storage: stream closed")
+
+// ErrSlowConsumer is returned by Subscription.Recv after a Block-policy
+// subscriber held a publisher past its BlockTimeout: the stream detaches
+// the subscriber rather than stall the write path forever, and the
+// subscriber learns why on its next receive (after draining whatever
+// was already queued). Callers should test with errors.Is.
+var ErrSlowConsumer = errors.New("storage: subscriber too slow, detached")
+
+// SlowPolicy names what a publisher does when a subscriber's bounded
+// queue is full. The choice trades the publisher's latency against the
+// subscriber's completeness — see docs/STREAMING.md.
+type SlowPolicy string
+
+const (
+	// DropOldest evicts the oldest queued message to make room for the
+	// new one. The publisher never blocks and the subscriber always sees
+	// the most recent Buffer messages — staleness is bounded, coverage
+	// is not. This is the default, and the only policy safe on the
+	// cluster write path without a timeout.
+	DropOldest SlowPolicy = "drop-oldest"
+	// Block makes the publisher wait for queue space up to
+	// SubOptions.BlockTimeout — real backpressure, full coverage — and
+	// detach the subscriber with ErrSlowConsumer when the wait runs out.
+	Block SlowPolicy = "block"
+	// Sample drops the incoming message when the queue is full: the
+	// publisher never blocks and the subscriber sees an in-order
+	// subsample of the stream (older queued messages are never
+	// displaced, so what it sees is a prefix-preserving subsequence).
+	Sample SlowPolicy = "sample"
+)
+
+// SlowPolicies lists the slow-consumer policies.
+func SlowPolicies() []SlowPolicy { return []SlowPolicy{DropOldest, Block, Sample} }
+
+// ValidateSlowPolicy checks a user-supplied policy name ("" means
+// DropOldest).
+func ValidateSlowPolicy(p string) error {
+	switch SlowPolicy(p) {
+	case "", DropOldest, Block, Sample:
+		return nil
+	}
+	return fmt.Errorf("storage: unknown slow-consumer policy %q (have %v)", p, SlowPolicies())
+}
+
+// StreamMsg is one published object: the name it was (or is about to
+// be) stored under, a stream-wide sequence number, and the payload.
+// Data is shared read-only among all subscribers — receivers must not
+// modify it.
+type StreamMsg struct {
+	// Name is the object name, e.g. "job-root000-it000042".
+	Name string
+	// Seq is the stream-wide publish sequence number (starting at 1);
+	// gaps in the sequence a subscriber observes are messages its
+	// policy dropped.
+	Seq uint64
+	// Data is the payload as the publisher saw it — decoded bytes, not
+	// the framed/chunked form a wrapped backend stores.
+	Data []byte
+}
+
+// DefaultStreamBuffer is the per-subscriber queue capacity when
+// SubOptions.Buffer is unset. It bounds a subscriber's staleness: under
+// DropOldest a consumer is never more than Buffer messages behind the
+// publisher.
+const DefaultStreamBuffer = 8
+
+// DefaultBlockTimeout is the publisher's patience with a Block-policy
+// subscriber when SubOptions.BlockTimeout is unset.
+const DefaultBlockTimeout = time.Second
+
+// SubOptions configure one subscription.
+type SubOptions struct {
+	// Buffer is the bounded queue capacity in messages (default
+	// DefaultStreamBuffer).
+	Buffer int
+	// Policy is what publishers do when the queue is full (default
+	// DropOldest).
+	Policy SlowPolicy
+	// BlockTimeout bounds how long a Block-policy publisher waits for
+	// queue space before detaching this subscriber (default
+	// DefaultBlockTimeout). Ignored by the other policies.
+	BlockTimeout time.Duration
+}
+
+func (o SubOptions) withDefaults() SubOptions {
+	if o.Buffer <= 0 {
+		o.Buffer = DefaultStreamBuffer
+	}
+	if o.Policy == "" {
+		o.Policy = DropOldest
+	}
+	if o.BlockTimeout <= 0 {
+		o.BlockTimeout = DefaultBlockTimeout
+	}
+	return o
+}
+
+// Stream is a fan-out hub from publishers (tree roots, the Streaming
+// store wrapper) to in-situ subscribers. Each subscriber owns a bounded
+// FIFO queue; when it falls behind, its SlowPolicy — not the other
+// subscribers' — decides what gives. Publish order is delivery order
+// within one publisher; messages carry stream-wide sequence numbers so
+// consumers can detect drops. All methods are safe for concurrent use.
+type Stream struct {
+	mu     sync.Mutex
+	subs   map[*Subscription]struct{}
+	seq    uint64
+	closed bool
+}
+
+// NewStream returns an empty hub.
+func NewStream() *Stream {
+	return &Stream{subs: map[*Subscription]struct{}{}}
+}
+
+// Subscribe attaches a new subscriber. On a closed stream the
+// subscription is returned already closed (Recv fails fast with
+// ErrStreamClosed).
+func (s *Stream) Subscribe(opts SubOptions) *Subscription {
+	sub := newSubscription(s, opts.withDefaults())
+	s.mu.Lock()
+	if s.closed {
+		sub.closed = true
+	} else {
+		s.subs[sub] = struct{}{}
+	}
+	s.mu.Unlock()
+	return sub
+}
+
+// HasSubscribers reports whether anyone is listening — publishers use
+// it to skip payload copies when nobody would see them.
+func (s *Stream) HasSubscribers() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs) > 0
+}
+
+// Published returns the number of messages published so far.
+func (s *Stream) Published() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Publish hands one payload to every current subscriber. The stream
+// takes ownership of data: it is shared read-only among subscribers,
+// so the caller must not reuse or recycle the buffer afterwards (pass
+// a copy when the source buffer is pooled). Publish blocks only for
+// Block-policy subscribers with full queues, and each of those at most
+// its own BlockTimeout — after which the laggard is detached with
+// ErrSlowConsumer and the publisher moves on. Publishing on a closed
+// stream is a no-op.
+func (s *Stream) Publish(name string, data []byte) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.seq++
+	msg := StreamMsg{Name: name, Seq: s.seq, Data: data}
+	targets := make([]*Subscription, 0, len(s.subs))
+	for sub := range s.subs {
+		targets = append(targets, sub)
+	}
+	s.mu.Unlock()
+	for _, sub := range targets {
+		sub.offer(msg)
+	}
+}
+
+// Close shuts the hub down: every subscriber drains its backlog and
+// then sees ErrStreamClosed; later Publish calls are dropped. Close is
+// idempotent.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	subs := make([]*Subscription, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.subs = map[*Subscription]struct{}{}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.close(nil)
+	}
+}
+
+// detach removes a subscription from the fan-out set (it stops
+// receiving new messages; queued ones remain readable).
+func (s *Stream) detach(sub *Subscription) {
+	s.mu.Lock()
+	delete(s.subs, sub)
+	s.mu.Unlock()
+}
+
+// Subscription is one subscriber's bounded FIFO view of a Stream.
+// Recv is single-consumer; the counters and Cancel are safe from any
+// goroutine.
+type Subscription struct {
+	stream *Stream
+	opts   SubOptions
+
+	mu       sync.Mutex
+	queue    []StreamMsg
+	closed   bool  // no more messages will be queued
+	failed   error // terminal error after the backlog drains
+	dropped  uint64
+	notEmpty chan struct{} // 1-buffered wakeup for Recv
+	notFull  chan struct{} // 1-buffered wakeup for Block publishers
+}
+
+func newSubscription(s *Stream, opts SubOptions) *Subscription {
+	return &Subscription{
+		stream:   s,
+		opts:     opts,
+		notEmpty: make(chan struct{}, 1),
+		notFull:  make(chan struct{}, 1),
+	}
+}
+
+// signal performs a non-blocking send on a 1-buffered wakeup channel.
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// offer enqueues one message under this subscription's slow-consumer
+// policy. Safe for concurrent publishers.
+func (c *Subscription) offer(msg StreamMsg) {
+	var timeout <-chan time.Time
+	var timer *time.Timer
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		}
+		if len(c.queue) < c.opts.Buffer {
+			c.queue = append(c.queue, msg)
+			c.mu.Unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			signal(c.notEmpty)
+			return
+		}
+		switch c.opts.Policy {
+		case Sample:
+			// Drop the newcomer: what stays queued is an in-order
+			// subsample the consumer will still see oldest-first.
+			c.dropped++
+			c.mu.Unlock()
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		case Block:
+			// Backpressure: wait for the consumer to make room, up to
+			// the subscriber's timeout — then detach it rather than
+			// hold the write path hostage.
+			if timeout == nil {
+				timer = time.NewTimer(c.opts.BlockTimeout)
+				timeout = timer.C
+			}
+			c.mu.Unlock()
+			select {
+			case <-c.notFull:
+				c.mu.Lock()
+			case <-timeout:
+				c.close(ErrSlowConsumer)
+				return
+			}
+		default: // DropOldest
+			c.queue = c.queue[1:]
+			c.dropped++
+		}
+	}
+}
+
+// Recv returns the next message, blocking until one arrives or the
+// subscription reaches a terminal state. The queued backlog is always
+// drained first; then Recv reports ErrStreamClosed (stream closed or
+// subscription cancelled) or ErrSlowConsumer (detached by a Block
+// timeout). Recv must not be called concurrently with itself.
+func (c *Subscription) Recv() (StreamMsg, error) {
+	for {
+		c.mu.Lock()
+		if len(c.queue) > 0 {
+			msg := c.queue[0]
+			c.queue = c.queue[1:]
+			c.mu.Unlock()
+			signal(c.notFull)
+			return msg, nil
+		}
+		if c.closed {
+			err := c.failed
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrStreamClosed
+			}
+			return StreamMsg{}, err
+		}
+		c.mu.Unlock()
+		<-c.notEmpty
+	}
+}
+
+// TryRecv is Recv without blocking: ok=false means the queue is empty
+// right now (err is then nil on a live subscription, terminal
+// otherwise).
+func (c *Subscription) TryRecv() (msg StreamMsg, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) > 0 {
+		msg = c.queue[0]
+		c.queue = c.queue[1:]
+		signal(c.notFull)
+		return msg, true, nil
+	}
+	if c.closed {
+		if err = c.failed; err == nil {
+			err = ErrStreamClosed
+		}
+	}
+	return StreamMsg{}, false, err
+}
+
+// Cancel detaches the subscription. Pending messages remain readable;
+// after the drain Recv returns ErrStreamClosed. Safe to call more than
+// once and concurrently with Recv.
+func (c *Subscription) Cancel() { c.close(nil) }
+
+// Dropped returns how many messages this subscription's policy has
+// discarded so far (evicted under DropOldest, refused under Sample).
+func (c *Subscription) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Pending returns the current queue depth.
+func (c *Subscription) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// close marks the subscription terminal with cause (nil = plain close)
+// and wakes both sides. First cause wins.
+func (c *Subscription) close(cause error) {
+	c.stream.detach(c)
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		c.failed = cause
+	}
+	c.mu.Unlock()
+	signal(c.notEmpty)
+	signal(c.notFull)
+}
+
+// StreamPublisher is the streaming write face: store an object and
+// publish its payload to live subscribers in one call. The Streaming
+// wrapper implements it; callers should go through the PutStream
+// helper, which degrades to a plain Put on stores without the face.
+type StreamPublisher interface {
+	// PutStream durably stores data under name and then publishes it.
+	PutStream(name string, data []byte) error
+}
+
+// Subscribable is implemented by stores that can hand out live
+// subscriptions (the Streaming wrapper). Consumers test for it with a
+// type assertion, so plain backends keep working unchanged.
+type Subscribable interface {
+	// Subscribe attaches a new subscriber to the store's stream.
+	Subscribe(opts SubOptions) *Subscription
+}
+
+// PutStream stores one object and publishes it to live subscribers:
+// through the store's StreamPublisher face when it has one, or as a
+// plain Put (no publication) otherwise.
+func PutStream(store ObjectStore, name string, data []byte) error {
+	if sp, ok := store.(StreamPublisher); ok {
+		return sp.PutStream(name, data)
+	}
+	return store.Put(name, data)
+}
+
+// Streaming adds the streaming face to any backend: every object
+// stored through Put/PutVec/PutStream is also published on an embedded
+// Stream, after the inner store accepted it. The wrapper belongs
+// *outermost* in the pipeline stack — above the chunk store, above
+// Compressing — so subscribers receive the payload as the application
+// wrote it (decoded, unchunked), not the framed form that lands on the
+// device. Payloads are copied once per publish and only while someone
+// is subscribed, so an unwatched stream costs nothing on the write
+// path.
+type Streaming struct {
+	Backend
+	stream *Stream
+}
+
+// NewStreaming wraps inner with the streaming face.
+func NewStreaming(inner Backend) *Streaming {
+	return &Streaming{Backend: inner, stream: NewStream()}
+}
+
+// Name implements Backend: the inner name tagged with the face.
+func (s *Streaming) Name() string { return s.Backend.Name() + "+stream" }
+
+// Inner returns the wrapped backend.
+func (s *Streaming) Inner() Backend { return s.Backend }
+
+// Stream returns the hub publishers and subscribers share.
+func (s *Streaming) Stream() *Stream { return s.stream }
+
+// Subscribe implements Subscribable.
+func (s *Streaming) Subscribe(opts SubOptions) *Subscription {
+	return s.stream.Subscribe(opts)
+}
+
+// Put implements ObjectStore: store, then publish a copy to live
+// subscribers (the inner store may alias or recycle data; subscribers
+// need their own stable bytes).
+func (s *Streaming) Put(name string, data []byte) error {
+	if err := s.Backend.Put(name, data); err != nil {
+		return err
+	}
+	if s.stream.HasSubscribers() {
+		s.stream.Publish(name, append([]byte(nil), data...))
+	}
+	return nil
+}
+
+// PutVec implements VecStore: the scatter-gather path publishes the
+// flattened payload, and flattens only when someone is subscribed.
+func (s *Streaming) PutVec(name string, segs [][]byte) error {
+	var flat []byte
+	if s.stream.HasSubscribers() {
+		flat = FlattenSegs(segs) // before the store recycles the segments
+	}
+	if err := PutVec(s.Backend, name, segs); err != nil {
+		return err
+	}
+	if flat != nil {
+		s.stream.Publish(name, flat)
+	}
+	return nil
+}
+
+// PutStream implements StreamPublisher. On this wrapper it is Put —
+// the face exists so callers can require publication via the
+// storage.PutStream helper.
+func (s *Streaming) PutStream(name string, data []byte) error {
+	return s.Put(name, data)
+}
+
+// CloseStream shuts the stream down (subscribers drain, then see
+// ErrStreamClosed). The inner backend is untouched.
+func (s *Streaming) CloseStream() { s.stream.Close() }
+
+// Delete forwards ObjectDeleter to the inner backend.
+func (s *Streaming) Delete(name string) error {
+	if d, ok := s.Backend.(ObjectDeleter); ok {
+		return d.Delete(name)
+	}
+	return fmt.Errorf("storage: backend %s cannot delete objects", s.Backend.Name())
+}
+
+// Retain forwards Retainer to the inner backend.
+func (s *Streaming) Retain(name string) error {
+	if r, ok := s.Backend.(Retainer); ok {
+		return r.Retain(name)
+	}
+	return fmt.Errorf("storage: backend %s has no retain face", s.Backend.Name())
+}
+
+// Release forwards Retainer to the inner backend.
+func (s *Streaming) Release(name string) error {
+	if r, ok := s.Backend.(Retainer); ok {
+		return r.Release(name)
+	}
+	return fmt.Errorf("storage: backend %s has no retain face", s.Backend.Name())
+}
+
+// ObjectCodec forwards ObjectCodecInfoer to the inner backend.
+func (s *Streaming) ObjectCodec(name string) (CodecInfo, bool) {
+	if ci, ok := s.Backend.(ObjectCodecInfoer); ok {
+		return ci.ObjectCodec(name)
+	}
+	return CodecInfo{}, false
+}
+
+// ObjectChunks forwards ObjectChunkInfoer to the inner backend.
+func (s *Streaming) ObjectChunks(name string) (ChunkInfo, bool) {
+	if ci, ok := s.Backend.(ObjectChunkInfoer); ok {
+		return ci.ObjectChunks(name)
+	}
+	return ChunkInfo{}, false
+}
