@@ -29,8 +29,8 @@ PPROF_PKG ?= .
 
 .PHONY: build test vet fmt fmt-check bench bench-json bench-compare \
 	pprof-cpu pprof-alloc cover-check tidy-check \
-	failure-race service-race chunk-race stream-race failure-smoke restart-smoke c1-smoke fuzz-smoke lint docs-check \
-	smoke-e1 smoke-e6 smoke-e6-cross smoke-f1 smoke-r1 smoke-c1 smoke-e9 smoke-e10 smoke-e7s ci
+	failure-race service-race chunk-race stream-race adapt-race failure-smoke restart-smoke c1-smoke fuzz-smoke lint docs-check \
+	smoke-e1 smoke-e6 smoke-e6-cross smoke-f1 smoke-r1 smoke-c1 smoke-e9 smoke-e10 smoke-e7s smoke-e11 ci
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,13 @@ chunk-race:
 stream-race:
 	$(GO) test -race -run 'Stream|Subscribe|Publish|InSitu' ./internal/storage ./internal/cluster ./internal/iostrat
 
+# Focused race-detector pass over mid-run tree re-formation: the epoch
+# fence racing concurrent writers, streaming subscribers, and failure
+# overlays, plus the scenario-driven DES adaptation paths (see
+# docs/SCENARIOS.md).
+adapt-race:
+	$(GO) test -race -run 'Adapt|Reform|Scenario' ./internal/cluster ./internal/iostrat
+
 # Experiment smoke matrix — one target per experiment so a broken
 # experiment names itself in the CI job list (ci.yml fans these out via
 # strategy.matrix).
@@ -89,6 +96,12 @@ smoke-e10:
 # the runtime and DES faces, plus the slow-consumer policy sweep.
 smoke-e7s:
 	$(GO) run ./cmd/damaris-bench -quick -exp e7s
+
+# E11 scenario × adaptation sweep at smoke scale: every deterministic
+# workload generator under static and adaptive trees on the DES face,
+# plus the runtime-face NIC-step replay with a streaming subscriber.
+smoke-e11:
+	$(GO) run ./cmd/damaris-bench -quick -exp e11
 
 smoke-f1: failure-smoke
 
@@ -187,10 +200,10 @@ pprof-alloc:
 
 # cover-check enforces the checked-in coverage floor over the scheduling
 # core: internal/iostrat + internal/storage (chunk store included) +
-# internal/cluster combined.
+# internal/cluster + internal/workload combined.
 cover-check:
 	@mkdir -p out
-	$(GO) test -coverprofile=out/cover.out ./internal/iostrat ./internal/storage ./internal/storage/chunk ./internal/cluster
+	$(GO) test -coverprofile=out/cover.out ./internal/iostrat ./internal/storage ./internal/storage/chunk ./internal/cluster ./internal/workload
 	@$(GO) tool cover -func=out/cover.out | awk '/^total:/ { \
 		sub("%","",$$3); \
 		if ($$3+0 < $(COVER_FLOOR)) { \
@@ -204,5 +217,5 @@ cover-check:
 tidy-check:
 	$(GO) mod tidy -diff
 
-ci: build vet fmt-check tidy-check docs-check test failure-race service-race chunk-race stream-race cover-check bench \
-	smoke-e1 smoke-e6 smoke-e6-cross smoke-f1 smoke-r1 smoke-c1 smoke-e9 smoke-e10 smoke-e7s fuzz-smoke
+ci: build vet fmt-check tidy-check docs-check test failure-race service-race chunk-race stream-race adapt-race cover-check bench \
+	smoke-e1 smoke-e6 smoke-e6-cross smoke-f1 smoke-r1 smoke-c1 smoke-e9 smoke-e10 smoke-e7s smoke-e11 fuzz-smoke

@@ -48,6 +48,14 @@
 //	damaris-bench -exp e10                         # overwrite-fraction sweep, both faces
 //	damaris-bench -dedup                           # dedup chunk store under every run
 //	damaris-bench -exp e10 -retain 4               # widen the retention/GC window
+//
+// Deterministic scenarios and elastic adaptation (experiment E11 and
+// docs/SCENARIOS.md):
+//
+//	damaris-bench -exp e11                         # scenario × {static, adaptive}, both faces
+//	damaris-bench -exp e11 -scenario nic-step -adapt adaptive -seed 7
+//	                                               # pin one sweep point; any seed replays bit-identically
+//	damaris-bench -scenario amr                    # replay an AMR trace under every DES run
 package main
 
 import (
@@ -65,11 +73,12 @@ import (
 	"repro/internal/storage"
 	"repro/internal/storage/chunk"
 	"repro/internal/topology"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		expList     = flag.String("exp", "all", "comma-separated experiment ids (e1..e10,e7s,a1,a2,f1,r1,c1) or 'all'")
+		expList     = flag.String("exp", "all", "comma-separated experiment ids (e1..e11,e7s,a1,a2,f1,r1,c1) or 'all'")
 		quick       = flag.Bool("quick", false, "reduced scale for a fast smoke run")
 		seed        = flag.Uint64("seed", 2013, "root seed for all stochastic inputs")
 		iters       = flag.Int("iters", 0, "output phases per run (0 = default)")
@@ -91,6 +100,8 @@ func main() {
 		retain      = flag.Int("retain", 0, "checkpoint retention window in iterations for runtime runs over a dedup store (0 = keep everything)")
 		streamPol   = flag.String("stream-policy", "", "E7S: pin the slow-consumer policy (drop-oldest, block, sample; empty sweeps all on the DES face)")
 		streamBuf   = flag.Int("stream-buffer", 0, "E7S: per-subscriber queue capacity in iterations for the slow-consumer legs (0 = 1)")
+		scenario    = flag.String("scenario", "", "replay a deterministic workload scenario in every DES run (steady, bursty, amr, particle-mix, weak-ladder, strong-ladder, nic-step, pfs-step, node-churn; E11 sweeps all unless pinned)")
+		adapt       = flag.String("adapt", "", "mid-run tree adaptation policy for scenario runs: static or adaptive (E11 sweeps both unless pinned)")
 	)
 	flag.Parse()
 
@@ -139,6 +150,20 @@ func main() {
 		opts.StreamPolicy = *streamPol
 	}
 	opts.StreamBuffer = *streamBuf
+	if *scenario != "" {
+		if err := workload.ValidateScenario(*scenario); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -scenario: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Scenario = *scenario
+	}
+	if *adapt != "" {
+		if err := iostrat.ValidateAdaptPolicy(iostrat.AdaptPolicy(*adapt)); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -adapt: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Adapt = *adapt
+	}
 	opts.Tenants = *tenants
 	opts.ArrivalRate = *arrival
 	if *admission != "" {

@@ -17,7 +17,13 @@
 //     heading in docs/EXPERIMENTS.md, so a runner cannot land without
 //     its documentation;
 //   - every flag cmd/damaris-bench defines is mentioned in README.md,
-//     so the CLI reference cannot drift behind the binary.
+//     so the CLI reference cannot drift behind the binary;
+//   - every docs/*.md file is reachable from README.md by following
+//     intra-repo markdown links, so a document cannot exist without a
+//     path readers can actually find;
+//   - every Makefile `smoke-*` target names a registered experiment id
+//     (optionally suffixed `-<mode>`, like smoke-e6-cross), so the CI
+//     smoke matrix cannot drift behind the registry.
 //
 // Usage:
 //
@@ -53,6 +59,8 @@ func main() {
 	problems = append(problems, checkExportedDocs(*root)...)
 	problems = append(problems, checkExperimentDocs(*root)...)
 	problems = append(problems, checkBenchFlags(*root)...)
+	problems = append(problems, checkDocsReachable(*root)...)
+	problems = append(problems, checkSmokeTargets(*root)...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -329,6 +337,90 @@ func checkBenchFlags(root string) []string {
 			problems = append(problems, fmt.Sprintf(
 				"%s: damaris-bench flag -%s is not documented", readmePath, name))
 		}
+	}
+	return problems
+}
+
+// checkDocsReachable walks the markdown link graph from README.md and
+// requires every docs/*.md file to be reachable: a document nobody
+// links to is a document nobody reads.
+func checkDocsReachable(root string) []string {
+	start := filepath.Join(root, "README.md")
+	if _, err := os.Stat(start); err != nil {
+		return []string{fmt.Sprintf("%s: %v (required by the docs reachability check)", start, err)}
+	}
+	visited := map[string]bool{}
+	queue := []string{start}
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		abs, err := filepath.Abs(path)
+		if err != nil || visited[abs] {
+			continue
+		}
+		visited[abs] = true
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue // broken links are checkMarkdownLinks' problem
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(stripCodeFences(string(data)), -1) {
+			target := m[1]
+			if u, err := url.Parse(target); err == nil && u.Scheme != "" {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if !strings.HasSuffix(target, ".md") {
+				continue
+			}
+			queue = append(queue, filepath.Join(filepath.Dir(path), filepath.FromSlash(target)))
+		}
+	}
+	var problems []string
+	docs, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return []string{fmt.Sprintf("globbing docs: %v", err)}
+	}
+	for _, doc := range docs {
+		abs, err := filepath.Abs(doc)
+		if err != nil {
+			continue
+		}
+		if !visited[abs] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: not reachable from README.md via markdown links", doc))
+		}
+	}
+	return problems
+}
+
+// smokeTarget matches Makefile smoke-* rule definitions.
+var smokeTarget = regexp.MustCompile(`(?m)^smoke-([a-z0-9-]+):`)
+
+// checkSmokeTargets requires every Makefile smoke-* target to name a
+// registered experiment id, optionally suffixed with a mode (like
+// smoke-e6-cross), so a smoke rule cannot outlive — or precede — its
+// experiment.
+func checkSmokeTargets(root string) []string {
+	path := filepath.Join(root, "Makefile")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v (required by the smoke-target check)", path, err)}
+	}
+	registered := map[string]bool{}
+	for _, e := range experiments.Registry() {
+		registered[e.ID] = true
+	}
+	var problems []string
+	for _, m := range smokeTarget.FindAllStringSubmatch(string(data), -1) {
+		name := m[1]
+		if registered[name] {
+			continue
+		}
+		if i := strings.Index(name, "-"); i > 0 && registered[name[:i]] {
+			continue // id + "-<mode>" variant
+		}
+		problems = append(problems, fmt.Sprintf(
+			"%s: smoke target %q names no registered experiment id", path, m[0][:len(m[0])-1]))
 	}
 	return problems
 }

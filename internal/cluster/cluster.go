@@ -68,6 +68,10 @@ type Stats struct {
 	// ReroutedEdges counts tree edges moved by failures, including
 	// root promotions.
 	ReroutedEdges int
+	// TreeReforms counts mid-run topology re-formations (Reform): new
+	// tree epochs opened by elastic adaptation. Failures re-route
+	// edges inside an epoch and are counted separately above.
+	TreeReforms int
 	// Completeness maps iteration → fraction of the cluster's nodes
 	// whose blocks reached a stored root object for that iteration
 	// (1.0 for every iteration when nothing fails or straggles).
@@ -115,6 +119,7 @@ func (s *Stats) add(o Stats) {
 	s.NodesFailed += o.NodesFailed
 	s.BlocksLost += o.BlocksLost
 	s.ReroutedEdges += o.ReroutedEdges
+	s.TreeReforms += o.TreeReforms
 	s.QuotaDroppedObjects += o.QuotaDroppedObjects
 	s.ObjectsReleased += o.ObjectsReleased
 	s.TokenWaitTime += o.TokenWaitTime
@@ -136,16 +141,23 @@ type Cluster struct {
 	aggs       []*aggregator
 	wg         sync.WaitGroup
 
-	// mu guards the tree (failures re-route it mid-run), the stats and
-	// the exited flags. Each aggregator's mailbox has its own lock
-	// (aggregator.mboxMu) so concurrent leaf deliveries do not contend
-	// on one cluster-wide mutex; routing lookups and the posts they
-	// decide still happen while c.mu is held, so a re-route stays
-	// atomic with respect to in-flight deliveries. Lock order:
-	// c.mu before mboxMu, never the reverse.
-	mu        sync.Mutex
-	tree      Tree
-	failEpoch int // bumped by every killNode; invalidates coverage caches
+	// mu guards the tree epochs (failures re-route them and Reform
+	// appends new ones mid-run), the stats and the exited flags. Each
+	// aggregator's mailbox has its own lock (aggregator.mboxMu) so
+	// concurrent leaf deliveries do not contend on one cluster-wide
+	// mutex; routing lookups and the posts they decide still happen
+	// while c.mu is held, so a re-route or re-formation stays atomic
+	// with respect to in-flight deliveries. Lock order: c.mu before
+	// mboxMu, never the reverse.
+	mu sync.Mutex
+	// epochs is the topology history, ascending by fromIter; the last
+	// entry is the current tree. Iteration k routes through treeFor(k)
+	// for its whole life — parent lookup, coverage requirement, root
+	// set, broker window — so re-formation never strands an in-flight
+	// iteration (see Reform in adapt.go).
+	epochs    []treeEpoch
+	maxRouted int // highest iteration any routing decision was made for
+	failEpoch int // bumped by killNode and Reform; invalidates coverage caches
 	stats     Stats
 	covered   map[int]int  // iteration → origin nodes stored at roots
 	partials  map[int]bool // iterations stored below full live coverage
@@ -193,7 +205,8 @@ func newTenantCluster(cc ClusterConfig, spec RunSpec, tenant int) (*Cluster, err
 		spec:       spec,
 		tenant:     tenant,
 		holderBase: tenantHolderBase(tenant),
-		tree:       NewTree(cc.Platform.Nodes, cc.Fanout, cc.Roots),
+		epochs:     []treeEpoch{{tree: NewTree(cc.Platform.Nodes, cc.Fanout, cc.Roots)}},
+		maxRouted:  -1,
 		nodes:      make([]*core.Node, cc.Platform.Nodes),
 		aggs:       make([]*aggregator, cc.Platform.Nodes),
 		covered:    map[int]int{},
@@ -247,12 +260,12 @@ type nullWriter struct{}
 
 func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
 
-// Tree returns a snapshot of the aggregation topology, including any
-// failure re-routing applied so far.
+// Tree returns a snapshot of the current aggregation topology — the
+// latest epoch — including any failure re-routing applied so far.
 func (c *Cluster) Tree() Tree {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.tree.Clone()
+	return c.curTree().Clone()
 }
 
 // Nodes returns the number of nodes.
@@ -320,17 +333,19 @@ func (c *Cluster) objectName(node, it int) string {
 	return fmt.Sprintf("%s-root%03d-it%06d", c.spec.JobName, node, it)
 }
 
-// rootTargets maps a root to its broker target window: one
-// BrokerStripes-wide window per aggregation tree, indexed by the
-// subtree the root leads — a promoted root inherits the dead root's
-// window, mirroring the DES side's rootOrdinal inheritance.
-func (c *Cluster) rootTargets(node int) []int {
+// rootTargets maps a root to its broker target window for one
+// iteration: one BrokerStripes-wide window per aggregation tree,
+// indexed by the subtree the root leads in the iteration's epoch — a
+// promoted root inherits the dead root's window, mirroring the DES
+// side's rootOrdinal inheritance, and a re-formed epoch gets its own
+// window layout without disturbing older iterations'.
+func (c *Cluster) rootTargets(node, it int) []int {
 	stripes := c.cc.BrokerStripes
 	if stripes < 1 {
 		stripes = 1
 	}
 	c.mu.Lock()
-	idx := c.tree.SubtreeIndex(node)
+	idx := c.treeFor(it).SubtreeIndex(node)
 	c.mu.Unlock()
 	targets := make([]int, stripes)
 	for i := range targets {
@@ -353,7 +368,7 @@ func (c *Cluster) Errors() []error {
 func (c *Cluster) WaitIteration(it int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for !c.completed[it] && len(c.tree.Roots()) > 0 {
+	for !c.completed[it] && len(c.treeFor(it).Roots()) > 0 {
 		c.iterDone.Wait()
 	}
 }
@@ -416,7 +431,16 @@ func (c *Cluster) killNode(d, blocksDropped int) {
 		return
 	}
 	c.failed[d] = true
-	edges := c.tree.Fail(d)
+	// The death applies to every epoch: an in-flight iteration routing
+	// through an older tree must re-route around the corpse too. Edge
+	// accounting reports the current epoch's re-routing.
+	var edges []RerouteEdge
+	for i := range c.epochs {
+		e := c.epochs[i].tree.Fail(d)
+		if i == len(c.epochs)-1 {
+			edges = e
+		}
+	}
 	c.failEpoch++
 	c.stats.NodesFailed++
 	c.stats.ReroutedEdges += len(edges)
@@ -463,11 +487,11 @@ func (c *Cluster) noteRootStored(it int) {
 }
 
 // checkIterComplete marks an iteration completed once every live root
-// has stored it. A forest with no live roots left completes nothing —
-// WaitIteration observes that state directly instead. Callers hold
-// c.mu.
+// of the iteration's epoch has stored it. A forest with no live roots
+// left completes nothing — WaitIteration observes that state directly
+// instead. Callers hold c.mu.
 func (c *Cluster) checkIterComplete(it int) {
-	roots := len(c.tree.Roots())
+	roots := len(c.treeFor(it).Roots())
 	if roots > 0 && !c.completed[it] && c.doneRoots[it] >= roots {
 		c.completed[it] = true
 		c.stats.IterationsCompleted++
@@ -551,7 +575,7 @@ type aggregator struct {
 	stored   map[int]bool // iterations this root has stored
 	written  map[int]bool // iterations whose object actually landed (retention)
 	dead     bool
-	reqCache []int // memoized live subtree, valid while reqEpoch holds
+	reqCache map[int][]int // epoch index → memoized live subtree, valid while reqEpoch holds
 	reqEpoch int
 }
 
@@ -632,7 +656,10 @@ func (a *aggregator) run() {
 	}
 	c.mu.Lock()
 	if !a.dead {
-		if parent, ok := c.tree.Parent(a.node); ok {
+		// The eof goes to every node that considers this one a child in
+		// any epoch — a parent from an older topology may still be
+		// waiting on it for an in-flight iteration.
+		for _, parent := range c.parentsUnion(a.node) {
 			c.postTo(parent, aggMsg{eof: true, from: a.node})
 		}
 	}
@@ -682,7 +709,11 @@ func (a *aggregator) finished() bool {
 	if a.dead {
 		return true
 	}
-	for _, k := range c.tree.Children(a.node) {
+	// Wait on the union of children across epochs: any node that might
+	// still forward an in-flight iteration here must end its stream
+	// first. The union graph stays acyclic because every tree keeps
+	// parent id < child id, re-routing included.
+	for _, k := range c.childrenUnion(a.node) {
 		if !a.eofFrom[k] && !c.exited[k] {
 			return false
 		}
@@ -691,18 +722,24 @@ func (a *aggregator) finished() bool {
 }
 
 // emitComplete emits every pending iteration whose coverage spans the
-// node's current live subtree. The subtree walk is memoized — the tree
-// only changes when a node dies, which bumps failEpoch.
+// node's live subtree in that iteration's epoch. The subtree walks are
+// memoized per epoch — the topology only changes when a node dies or
+// the forest re-forms, both of which bump failEpoch.
 func (a *aggregator) emitComplete() {
 	c := a.c
 	c.mu.Lock()
 	if a.reqCache == nil || a.reqEpoch != c.failEpoch {
-		a.reqCache = c.tree.LiveSubtree(a.node)
+		a.reqCache = map[int][]int{}
 		a.reqEpoch = c.failEpoch
 	}
-	required := a.reqCache
 	var ready []int
 	for it, p := range a.pending {
+		ei := c.epochIndexFor(it)
+		required, ok := a.reqCache[ei]
+		if !ok {
+			required = c.epochs[ei].tree.LiveSubtree(a.node)
+			a.reqCache[ei] = required
+		}
 		if CoversAll(p.covered, required) {
 			ready = append(ready, it)
 		}
@@ -730,7 +767,8 @@ func sortedCovers(covered map[int]bool) []int {
 func (a *aggregator) drainUp(b *Batch, covers []int) {
 	c := a.c
 	c.mu.Lock()
-	dest, ok := c.tree.DrainTarget(a.node)
+	c.noteRouted(b.Iteration)
+	dest, ok := c.treeFor(b.Iteration).DrainTarget(a.node)
 	if !ok {
 		c.stats.BlocksLost += len(b.Blocks)
 		b.ReleaseBuffers()
@@ -748,13 +786,14 @@ func (a *aggregator) emit(b *Batch, covered map[int]bool, partial bool) {
 	c := a.c
 	covers := sortedCovers(covered)
 	c.mu.Lock()
+	c.noteRouted(b.Iteration)
 	if c.failed[a.node] {
 		// Killed between recv and emit: the data still drains upward.
 		c.mu.Unlock()
 		a.drainUp(b, covers)
 		return
 	}
-	if parent, ok := c.tree.Parent(a.node); ok {
+	if parent, ok := c.treeFor(b.Iteration).Parent(a.node); ok {
 		c.stats.BatchesForwarded++
 		c.stats.BytesForwarded += int64(b.Bytes())
 		c.postTo(parent, aggMsg{batch: b, covers: covers, from: a.node})
@@ -787,7 +826,7 @@ func (a *aggregator) emit(b *Batch, covered map[int]bool, partial bool) {
 			Tenant:   c.tenant,
 			Priority: c.spec.Priority,
 			Weight:   c.spec.Weight,
-			Targets:  c.rootTargets(a.node),
+			Targets:  c.rootTargets(a.node, b.Iteration),
 			Deadline: deadline,
 			Bytes:    float64(b.Bytes()),
 		})

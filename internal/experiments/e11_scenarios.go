@@ -1,0 +1,429 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/compress"
+	"repro/internal/iostrat"
+	"repro/internal/meta"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// e11ClusterMeta describes the runtime-face runs: one float64 row per
+// client, small enough that topology mechanics dominate payload cost.
+const e11ClusterMeta = `<simulation name="e11">
+  <architecture><dedicated cores="1"/><buffer size="4194304"/></architecture>
+  <data>
+    <parameter name="n" value="512"/>
+    <layout name="row" type="float64" dimensions="n"/>
+    <variable name="theta" layout="row"/>
+  </data>
+</simulation>`
+
+// RunE11 sweeps the deterministic workload scenarios of
+// internal/workload against the two tree-adaptation policies, on both
+// faces (docs/SCENARIOS.md has the vocabulary):
+//
+//   - DES face: every scenario × {static, adaptive} through the Damaris
+//     strategy in tree mode, the trace driving per-iteration volumes,
+//     compute cadence, bandwidth steps, and node churn in virtual time;
+//   - runtime face: a real cluster replays a NIC-step trace with a
+//     streaming subscriber attached, re-forming the tree mid-run from
+//     cluster.RecommendTopology when the shift lands.
+//
+// The headline checks: the same seed replays bit-identically, adaptive
+// beats static on aggregate write latency on a mid-run platform shift,
+// and adaptation never loses acknowledged data — Completeness stays 1
+// on every scenario that injects no failures.
+func RunE11(opts Options) (Report, error) {
+	opts = opts.withDefaults()
+	rep := Report{ID: "E11", Title: "deterministic scenarios × elastic tree adaptation"}
+
+	scenarios := workload.Scenarios()
+	if opts.Scenario != "" {
+		if err := workload.ValidateScenario(opts.Scenario); err != nil {
+			return Report{}, err
+		}
+		scenarios = []string{opts.Scenario}
+	}
+	policies := iostrat.AdaptPolicies()
+	if opts.Adapt != "" {
+		pol := iostrat.AdaptPolicy(opts.Adapt)
+		if err := iostrat.ValidateAdaptPolicy(pol); err != nil {
+			return Report{}, err
+		}
+		policies = []iostrat.AdaptPolicy{pol}
+	}
+
+	// The generators place their mid-run shifts around n/3 and the
+	// adaptation cooldown needs headroom after that; quick runs would
+	// otherwise end before the step can matter.
+	iters := opts.Iterations
+	if iters < 8 {
+		iters = 8
+	}
+	cores := opts.Scales[0]
+	desCfg := func(sc string, pol iostrat.AdaptPolicy) (iostrat.Config, error) {
+		cfg := opts.strategyConfig(cores)
+		if cfg.Fanout < 2 {
+			cfg.Fanout = 4
+		}
+		tr, err := workload.Generate(workload.Spec{
+			Scenario:   sc,
+			Seed:       opts.Seed,
+			Iterations: iters,
+			Nodes:      cfg.Platform.Nodes,
+		})
+		if err != nil {
+			return iostrat.Config{}, err
+		}
+		cfg.Scenario = tr
+		cfg.Adapt = pol
+		return cfg, nil
+	}
+
+	// ---- DES face: scenario × policy sweep. ----
+	type legKey struct {
+		sc  string
+		pol iostrat.AdaptPolicy
+	}
+	results := map[legKey]iostrat.Result{}
+	des := stats.NewTable(
+		fmt.Sprintf("DES face: scenario × adaptation at %d cores, %d iterations", cores, iters),
+		"scenario", "adapt", "median_write_latency_s", "bytes_written_gb",
+		"tree_reforms", "min_completeness", "skipped")
+	for _, sc := range scenarios {
+		for _, pol := range policies {
+			cfg, err := desCfg(sc, pol)
+			if err != nil {
+				return Report{}, err
+			}
+			res, err := iostrat.Run(iostrat.Damaris, cfg)
+			if err != nil {
+				return Report{}, fmt.Errorf("e11 %s/%s: %w", sc, pol, err)
+			}
+			results[legKey{sc, pol}] = res
+			// Median, not mean: per-iteration latency is a max over
+			// concurrent stripe streams, so a single heavy-tailed PFS
+			// straggler episode can dominate a mean; the median ranks
+			// the topologies, which is what this table compares.
+			des.AddRow(sc, string(pol), stats.Median(res.TreeWriteLatencies),
+				stats.GB(res.BytesWritten), res.TreeReforms,
+				minFloat(res.Completeness), res.SkippedIters)
+		}
+	}
+	rep.Tables = append(rep.Tables, des)
+
+	// ---- Determinism: the same seed must replay bit-identically. ----
+	replaySc, replayPol := scenarios[0], policies[len(policies)-1]
+	if opts.Scenario == "" {
+		replaySc = workload.NICStep // the scenario with the most moving parts
+	}
+	cfgA, err := desCfg(replaySc, replayPol)
+	if err != nil {
+		return Report{}, err
+	}
+	cfgB, err := desCfg(replaySc, replayPol)
+	if err != nil {
+		return Report{}, err
+	}
+	fpStable := 0.0
+	if cfgA.Scenario.Fingerprint() == cfgB.Scenario.Fingerprint() {
+		fpStable = 1
+	}
+	again, err := iostrat.Run(iostrat.Damaris, cfgB)
+	if err != nil {
+		return Report{}, err
+	}
+	first := results[legKey{replaySc, replayPol}]
+	identical := 1.0
+	if first.TotalTime != again.TotalTime || first.DrainTime != again.DrainTime ||
+		first.BytesWritten != again.BytesWritten || first.TreeReforms != again.TreeReforms ||
+		len(first.TreeWriteLatencies) != len(again.TreeWriteLatencies) {
+		identical = 0
+	} else {
+		for i := range first.TreeWriteLatencies {
+			if first.TreeWriteLatencies[i] != again.TreeWriteLatencies[i] {
+				identical = 0
+				break
+			}
+		}
+	}
+	rep.Checks = append(rep.Checks,
+		Check{
+			Name:     "trace generation is a pure function of the seed",
+			Paper:    "deterministic scenario generator (docs/SCENARIOS.md)",
+			Measured: fpStable, Unit: "bool", Lo: 1, Hi: 1,
+		},
+		Check{
+			Name:     fmt.Sprintf("DES replay bit-identical (%s/%s)", replaySc, replayPol),
+			Paper:    "same seed, same trace, same measurements",
+			Measured: identical, Unit: "bool", Lo: 1, Hi: 1,
+		})
+
+	// ---- Loss accounting across the sweep. ----
+	minComp, maxLost := 1.0, 0.0
+	for key, res := range results {
+		if key.sc == workload.NodeChurn {
+			continue // churn injects real failures; F1 owns that accounting
+		}
+		if c := minFloat(res.Completeness); c < minComp {
+			minComp = c
+		}
+		if res.LostBytes > maxLost {
+			maxLost = res.LostBytes
+		}
+	}
+	rep.Checks = append(rep.Checks,
+		Check{
+			Name:     "completeness 1 absent injected failures",
+			Paper:    "adaptation never loses acknowledged data",
+			Measured: minComp, Unit: "fraction", Lo: 1, Hi: 1,
+		},
+		Check{
+			Name:     "no bytes lost absent injected failures",
+			Paper:    "epoch fence preserves in-flight iterations",
+			Measured: maxLost, Unit: "bytes", Lo: 0, Hi: 1e-9,
+		})
+
+	// ---- Adaptive vs static on a mid-run platform shift. ----
+	if opts.Scenario == "" && opts.Adapt == "" {
+		st := results[legKey{workload.NICStep, iostrat.AdaptStatic}]
+		ad := results[legKey{workload.NICStep, iostrat.AdaptAdaptive}]
+		rep.Checks = append(rep.Checks,
+			Check{
+				Name:     "adaptive re-forms on the NIC step",
+				Paper:    "topology follows observed bandwidth",
+				Measured: float64(ad.TreeReforms), Unit: "reforms", Lo: 1,
+			},
+			Check{
+				Name:     "static control never re-forms",
+				Paper:    "fixed topology is the baseline",
+				Measured: float64(st.TreeReforms), Unit: "reforms", Lo: 0, Hi: 1e-9,
+			},
+			Check{
+				Name:     "adaptive write-latency advantage on the NIC step",
+				Paper:    "re-formed tree beats the stale shape",
+				Measured: stats.Median(st.TreeWriteLatencies) / stats.Median(ad.TreeWriteLatencies),
+				Unit:     "x", Lo: 1.001,
+			},
+			Check{
+				Name:     "adaptation leaves stored volume unchanged",
+				Paper:    "same data, different route",
+				Measured: ad.BytesWritten / st.BytesWritten,
+				Unit:     "x", Lo: 0.999, Hi: 1.001,
+			})
+	}
+
+	// ---- Runtime face: real goroutines, mid-run re-formation. ----
+	adaptRT := opts.Adapt != string(iostrat.AdaptStatic)
+	rt, err := runE11Cluster(opts.Seed, adaptRT)
+	if err != nil {
+		return Report{}, fmt.Errorf("e11 runtime: %w", err)
+	}
+	rtTab := stats.NewTable(
+		"runtime face: NIC-step trace replay with streaming subscriber",
+		"leg", "tree_reforms", "epochs", "blocks_stored", "blocks_expected",
+		"stream_frames", "min_completeness")
+	leg := "adaptive"
+	if !adaptRT {
+		leg = "static"
+	}
+	rtTab.AddRow(leg, rt.reforms, rt.epochs, rt.blocks, rt.want, rt.frames, rt.minComp)
+	rep.Tables = append(rep.Tables, rtTab)
+	rep.Checks = append(rep.Checks,
+		Check{
+			Name:     "runtime: every acknowledged block stored once",
+			Paper:    "re-formation preserves in-flight mailboxes",
+			Measured: float64(rt.blocks), Unit: "blocks",
+			Lo: float64(rt.want), Hi: float64(rt.want),
+		},
+		Check{
+			Name:     "runtime: completeness 1 through re-formation",
+			Paper:    "adaptation never loses acknowledged data",
+			Measured: rt.minComp, Unit: "fraction", Lo: 1, Hi: 1,
+		},
+		Check{
+			Name:     "runtime: streaming survives re-formation",
+			Paper:    "composes with the streaming hooks",
+			Measured: float64(rt.frames), Unit: "frames", Lo: 1,
+		})
+	if adaptRT {
+		rep.Checks = append(rep.Checks, Check{
+			Name:     "runtime: tree re-formed when the shift landed",
+			Paper:    "topology follows observed bandwidth",
+			Measured: float64(rt.reforms), Unit: "reforms", Lo: 1,
+		})
+	}
+	return rep, nil
+}
+
+// e11Run is one runtime-face measurement.
+type e11Run struct {
+	reforms int
+	epochs  int
+	blocks  int     // distinct (iteration, node, source) blocks stored
+	want    int     // blocks acknowledged by clients
+	frames  int     // streaming frames delivered across re-formations
+	minComp float64 // worst per-iteration completeness
+}
+
+// runE11Cluster replays a NIC-step trace on a real cluster: every
+// client writes each iteration, a streaming subscriber consumes merged
+// batches throughout, and — on the adaptive leg — the topology is
+// re-formed from RecommendTopology the moment the trace's bandwidth
+// step lands, using the shifted factors as the observed bandwidths.
+func runE11Cluster(seed uint64, adapt bool) (e11Run, error) {
+	const nodes, clients, iters = 8, 2, 8
+	tr, err := workload.Generate(workload.Spec{
+		Scenario:   workload.NICStep,
+		Seed:       seed,
+		Iterations: iters,
+		Nodes:      nodes,
+	})
+	if err != nil {
+		return e11Run{}, err
+	}
+	metaCfg, err := meta.ParseString(e11ClusterMeta)
+	if err != nil {
+		return e11Run{}, err
+	}
+	mem := storage.NewMemory(nil, 4, 1e9)
+	stream := storage.NewStream()
+	sub := stream.Subscribe(storage.SubOptions{Buffer: nodes * iters})
+	c, err := cluster.New(cluster.Config{
+		Platform: topology.Platform{Name: "e11", Nodes: nodes, CoresPerNode: clients + 1},
+		Meta:     metaCfg,
+		Fanout:   2,
+		Roots:    1,
+		Store:    mem,
+		Hooks:    []cluster.Hook{cluster.NewStreamingHook(stream)},
+	})
+	if err != nil {
+		return e11Run{}, err
+	}
+
+	var consumerWG sync.WaitGroup
+	consumerWG.Add(1)
+	frames := 0
+	consumerErr := make(chan error, 1)
+	go func() {
+		defer consumerWG.Done()
+		for {
+			msg, err := sub.Recv()
+			if err != nil {
+				if err != storage.ErrStreamClosed && err != storage.ErrSlowConsumer {
+					consumerErr <- err
+				}
+				return
+			}
+			if _, err := cluster.DecodeBatch(msg.Data); err != nil {
+				consumerErr <- err
+				return
+			}
+			frames++
+		}
+	}()
+
+	// The recommendation models the simulated job — kraken-class nominal
+	// bandwidths scaled by the trace's cumulative shift factors, and the
+	// trace's own per-node volume — not the toy payload below.
+	nominal := topology.Kraken(nodes)
+	fanout, roots := 2, 1
+	row := make([]float64, 512)
+	for it := 0; it < iters; it++ {
+		for i := range row {
+			row[i] = float64(it*len(row) + i)
+		}
+		data := compress.Float64Bytes(row)
+		for n := 0; n < nodes; n++ {
+			for s := 0; s < clients; s++ {
+				if err := c.Client(n, s).Write("theta", it, data); err != nil {
+					return e11Run{}, fmt.Errorf("node %d src %d it %d: %w", n, s, it, err)
+				}
+				c.Client(n, s).EndIteration(it)
+			}
+		}
+		if adapt && len(tr.ShiftsAt(it+1)) > 0 {
+			// The shift lands next iteration: settle this one, observe
+			// the new bandwidths, and re-form ahead of the step.
+			c.WaitIteration(it)
+			nodeBytes := tr.Iters[it].BytesPerCore * float64(clients)
+			f, r := cluster.RecommendTopology(nodes, nodeBytes,
+				nominal.NICBandwidth*tr.NICFactorAt(it+1),
+				nominal.PFS.OSTBandwidth*tr.PFSFactorAt(it+1), nominal.PFS.OSTs)
+			if f != fanout || r != roots {
+				if _, err := c.Reform(f, r); err != nil {
+					return e11Run{}, fmt.Errorf("reform (%d, %d): %w", f, r, err)
+				}
+				fanout, roots = f, r
+			}
+		}
+	}
+	c.WaitIteration(iters - 1)
+	if err := c.Shutdown(); err != nil {
+		return e11Run{}, err
+	}
+	stream.Close()
+	consumerWG.Wait()
+	select {
+	case err := <-consumerErr:
+		return e11Run{}, err
+	default:
+	}
+
+	minComp := 1.0
+	for _, frac := range c.Stats().Completeness {
+		if frac < minComp {
+			minComp = frac
+		}
+	}
+	run := e11Run{
+		reforms: c.Stats().TreeReforms,
+		epochs:  c.Epochs(),
+		want:    nodes * clients * iters,
+		frames:  frames,
+		minComp: minComp,
+	}
+	seen := map[[3]int]bool{}
+	for _, name := range mem.ObjectNames() {
+		if cluster.IsManifestName(name) {
+			continue
+		}
+		obj, ok := mem.Object(name)
+		if !ok {
+			continue
+		}
+		b, err := cluster.DecodeBatch(obj)
+		if err != nil {
+			return e11Run{}, fmt.Errorf("decode %s: %w", name, err)
+		}
+		for _, blk := range b.Blocks {
+			key := [3]int{b.Iteration, blk.Node, blk.Source}
+			if seen[key] {
+				return e11Run{}, fmt.Errorf("iteration %d: block (node %d, source %d) stored twice",
+					b.Iteration, blk.Node, blk.Source)
+			}
+			seen[key] = true
+		}
+	}
+	run.blocks = len(seen)
+	return run, nil
+}
+
+// minFloat returns the smallest element (1 for an empty slice, the
+// neutral completeness).
+func minFloat(xs []float64) float64 {
+	m := 1.0
+	for i, x := range xs {
+		if i == 0 || x < m {
+			m = x
+		}
+	}
+	return m
+}

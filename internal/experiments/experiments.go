@@ -22,6 +22,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/topology"
+	"repro/internal/workload"
 )
 
 // Options control the scale of an experiment run.
@@ -87,6 +88,16 @@ type Options struct {
 	// for E7S's slow-consumer legs (the -stream-buffer bench flag;
 	// 0 = 1, the tightest bound on staleness).
 	StreamBuffer int
+	// Scenario names a workload generator (the -scenario bench flag;
+	// see internal/workload and docs/SCENARIOS.md): every DES strategy
+	// run then replays the trace deterministically generated from Seed
+	// for the run's node count, in tree mode. E11 sweeps all scenarios
+	// unless this pins one.
+	Scenario string
+	// Adapt selects the mid-run tree adaptation policy for scenario
+	// runs (the -adapt bench flag: "static" or "adaptive"). E11 sweeps
+	// both unless this pins one.
+	Adapt string
 }
 
 // Default returns the paper-scale options: the Kraken sweep up to 9216
@@ -162,6 +173,24 @@ func (o Options) strategyConfig(cores int) iostrat.Config {
 			sched.Add(n, o.FailAt)
 		}
 		cfg.Failures = sched
+	}
+	if o.Scenario != "" {
+		tr, err := workload.Generate(workload.Spec{
+			Scenario:   o.Scenario,
+			Seed:       o.Seed,
+			Iterations: o.Iterations,
+			Nodes:      cfg.Platform.Nodes,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		cfg.Scenario = tr
+		if cfg.Fanout < 2 {
+			cfg.Fanout = 4 // scenario traces ride the aggregation tree
+		}
+	}
+	if o.Adapt != "" {
+		cfg.Adapt = iostrat.AdaptPolicy(o.Adapt)
 	}
 	return cfg
 }

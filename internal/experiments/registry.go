@@ -35,5 +35,6 @@ func Registry() []Entry {
 		{"c1", "compression codecs", RunC1},
 		{"e9", "multi-tenant admission", RunE9},
 		{"e10", "incremental checkpoints and dedup", RunE10},
+		{"e11", "deterministic scenarios × elastic tree adaptation", RunE11},
 	}
 }

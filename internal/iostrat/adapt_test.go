@@ -1,0 +1,198 @@
+package iostrat
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// scenarioConfig builds a tree-mode run driven by a generated trace.
+func scenarioConfig(t *testing.T, sc string, adapt AdaptPolicy) Config {
+	t.Helper()
+	plat := topology.Kraken(32)
+	plat.PFS.OSTs = 32
+	tr, err := workload.Generate(workload.Spec{
+		Scenario:         sc,
+		Seed:             2013,
+		Iterations:       8,
+		Nodes:            plat.Nodes,
+		BaseBytesPerCore: 38e6,
+		BaseComputeTime:  50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Platform: plat,
+		Workload: CM1Workload(8),
+		Seed:     7,
+		Fanout:   4,
+		Scenario: tr,
+		Adapt:    adapt,
+	}
+}
+
+// TestScenarioReplayBitIdentical is the DES half of the determinism
+// contract: the same scenario and seed replay to identical measurements,
+// for every scenario, under both adaptation policies.
+func TestScenarioReplayBitIdentical(t *testing.T) {
+	for _, sc := range workload.Scenarios() {
+		for _, adapt := range AdaptPolicies() {
+			a, err := Run(Damaris, scenarioConfig(t, sc, adapt))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sc, adapt, err)
+			}
+			b, err := Run(Damaris, scenarioConfig(t, sc, adapt))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sc, adapt, err)
+			}
+			if a.TotalTime != b.TotalTime || a.DrainTime != b.DrainTime ||
+				a.BytesWritten != b.BytesWritten || a.TreeReforms != b.TreeReforms {
+				t.Fatalf("%s/%s: replay diverged: %+v vs %+v", sc, adapt,
+					[4]float64{a.TotalTime, a.DrainTime, a.BytesWritten, float64(a.TreeReforms)},
+					[4]float64{b.TotalTime, b.DrainTime, b.BytesWritten, float64(b.TreeReforms)})
+			}
+			for i := range a.TreeWriteLatencies {
+				if a.TreeWriteLatencies[i] != b.TreeWriteLatencies[i] {
+					t.Fatalf("%s/%s: iteration %d write latency diverged", sc, adapt, i)
+				}
+			}
+		}
+	}
+}
+
+// TestScenarioAdaptReformsWithoutLoss puts the adaptive policy on a
+// mid-run platform shift: the tree must actually re-form, and the epoch
+// fence must keep every iteration complete — no acknowledged data lost
+// to the re-formation.
+func TestScenarioAdaptReformsWithoutLoss(t *testing.T) {
+	for _, sc := range []string{workload.NICStep, workload.PFSStep} {
+		res, err := Run(Damaris, scenarioConfig(t, sc, AdaptAdaptive))
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if res.TreeReforms == 0 {
+			t.Fatalf("%s: adaptive run never re-formed the tree", sc)
+		}
+		if res.LostBytes != 0 {
+			t.Fatalf("%s: lost %g bytes with no injected failures", sc, res.LostBytes)
+		}
+		if res.SkippedIters != 0 {
+			t.Fatalf("%s: %d skipped iterations", sc, res.SkippedIters)
+		}
+		for it, frac := range res.Completeness {
+			if frac != 1 {
+				t.Fatalf("%s: iteration %d completeness %g, want 1", sc, it, frac)
+			}
+		}
+	}
+}
+
+// TestScenarioStaticNeverReforms pins the control leg: static runs keep
+// their configured topology whatever the trace does.
+func TestScenarioStaticNeverReforms(t *testing.T) {
+	res, err := Run(Damaris, scenarioConfig(t, workload.NICStep, AdaptStatic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TreeReforms != 0 {
+		t.Fatalf("static run re-formed %d times", res.TreeReforms)
+	}
+}
+
+// TestScenarioAdaptChurnLossBounded runs node-churn under adaptation:
+// only the dead nodes' contributions may go missing, and completeness
+// must exactly account for them.
+func TestScenarioAdaptChurnLossBounded(t *testing.T) {
+	cfg := scenarioConfig(t, workload.NodeChurn, AdaptAdaptive)
+	res, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := cfg.Scenario.NodeLosses()
+	if res.NodesFailed != len(losses) {
+		t.Fatalf("NodesFailed = %d, want %d", res.NodesFailed, len(losses))
+	}
+	nodes := cfg.Platform.Nodes
+	for it, frac := range res.Completeness {
+		deadBy := 0
+		for _, l := range losses {
+			if l.Iteration <= it {
+				deadBy++
+			}
+		}
+		min := float64(nodes-deadBy) / float64(nodes)
+		if frac < min-1e-9 || frac > 1+1e-9 {
+			t.Fatalf("iteration %d completeness %g outside [%g, 1]", it, frac, min)
+		}
+	}
+}
+
+// TestScenarioAMRGrowsVolume checks the per-iteration workload actually
+// reaches the backend: an AMR trace must write more than iterations ×
+// first-iteration volume.
+func TestScenarioAMRGrowsVolume(t *testing.T) {
+	cfg := scenarioConfig(t, workload.AMR, AdaptStatic)
+	res, err := Run(Damaris, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := cfg.Scenario.Iters[0].BytesPerCore * float64(cfg.Platform.CoresPerNode) *
+		float64(cfg.Platform.Nodes) * float64(cfg.Scenario.Iterations())
+	if res.BytesWritten <= flat*1.01 {
+		t.Fatalf("AMR growth invisible: wrote %g, flat baseline %g", res.BytesWritten, flat)
+	}
+	if res.SkippedIters != 0 {
+		t.Fatalf("AMR peak overflowed the shm segment: %d skips", res.SkippedIters)
+	}
+}
+
+// TestScenarioAdaptiveHelpsOnShift is the headline E11 claim in unit
+// form: on a NIC bandwidth step, re-forming the tree beats keeping the
+// static shape on aggregate write latency — and never by losing data.
+func TestScenarioAdaptiveHelpsOnShift(t *testing.T) {
+	static, err := Run(Damaris, scenarioConfig(t, workload.NICStep, AdaptStatic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Run(Damaris, scenarioConfig(t, workload.NICStep, AdaptAdaptive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median: the PFS model's heavy-tailed stragglers can blow up a
+	// mean on either leg; the topology comparison is the median's job.
+	sm, am := stats.Median(static.TreeWriteLatencies), stats.Median(adaptive.TreeWriteLatencies)
+	if am >= sm {
+		t.Fatalf("adaptive write latency %.3f s not below static %.3f s", am, sm)
+	}
+	if adaptive.BytesWritten != static.BytesWritten {
+		t.Fatalf("adaptation changed the stored volume: %g vs %g",
+			adaptive.BytesWritten, static.BytesWritten)
+	}
+}
+
+// TestScenarioValidation exercises the configuration guards.
+func TestScenarioValidation(t *testing.T) {
+	cfg := scenarioConfig(t, workload.Steady, AdaptStatic)
+
+	bad := cfg
+	bad.Adapt = "sometimes"
+	if _, err := Run(Damaris, bad); err == nil {
+		t.Fatal("unknown adapt policy accepted")
+	}
+
+	bad = cfg
+	bad.Adapt = AdaptAdaptive
+	bad.Fanout = 0
+	if _, err := Run(Damaris, bad); err == nil {
+		t.Fatal("adaptive without tree mode accepted")
+	}
+
+	bad = cfg
+	bad.Platform = topology.Kraken(8)
+	if _, err := Run(Damaris, bad); err == nil {
+		t.Fatal("node-count mismatch between trace and platform accepted")
+	}
+}

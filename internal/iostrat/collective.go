@@ -19,7 +19,7 @@ import (
 func runCollective(cfg Config) (Result, error) {
 	eng := des.NewEngine()
 	root := rng.New(cfg.Seed, 2)
-	be, err := cfg.newBackend(eng, root.Named("pfs"))
+	be, _, err := cfg.newBackend(eng, root.Named("pfs"))
 	if err != nil {
 		return Result{}, err
 	}

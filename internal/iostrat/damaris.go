@@ -1,12 +1,14 @@
 package iostrat
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/des"
 	"repro/internal/rng"
 	"repro/internal/storage"
+	"repro/internal/workload"
 )
 
 // nodeShm models one node's shared-memory segment between simulation
@@ -171,6 +173,10 @@ func sortedIntKeys[V any](m map[int]V) []int {
 	return keys
 }
 
+// bandwidthShifter is the model-level knob scenario PFS shifts reach
+// through the backend stack (implemented by storage.PFS).
+type bandwidthShifter interface{ SetBandwidthFactor(float64) }
+
 // runDamaris models the Damaris approach: per node, CoresPerNode-D
 // simulation cores and D dedicated cores. Simulation cores pay only the
 // shared-memory write (bytes/ShmBandwidth + per-variable overhead); the
@@ -186,21 +192,38 @@ func sortedIntKeys[V any](m map[int]V) []int {
 // node's iteration over the NIC, interior nodes batch their subtree,
 // and only tree roots touch the backend — few, large, striped
 // sequential streams.
+//
+// A Config.Scenario trace makes the workload per-iteration (volumes,
+// compute times, variable counts), steps the NIC/PFS bandwidth mid-run
+// and merges node losses into the failure schedule; Config.Adapt =
+// AdaptAdaptive lets tree mode re-form the forest at epoch fences when
+// the observed bandwidths say the configured shape is no longer right.
 func runDamaris(cfg Config) (Result, error) {
 	if err := ValidateScheduling(cfg.Scheduling); err != nil {
+		return Result{}, err
+	}
+	if err := ValidateAdaptPolicy(cfg.Adapt); err != nil {
 		return Result{}, err
 	}
 	if err := cfg.InSitu.validate(cfg.Fanout >= 2); err != nil {
 		return Result{}, err
 	}
+	if cfg.Adapt == AdaptAdaptive && cfg.Fanout < 2 {
+		return Result{}, fmt.Errorf("iostrat: adaptive tree re-formation requires tree mode (Fanout >= 2)")
+	}
+	plat := cfg.Platform
+	trace := cfg.Scenario
+	if trace != nil && trace.Nodes != plat.Nodes {
+		return Result{}, fmt.Errorf("iostrat: scenario %q generated for %d nodes, platform has %d",
+			trace.Scenario, trace.Nodes, plat.Nodes)
+	}
 	eng := des.NewEngine()
 	root := rng.New(cfg.Seed, 3)
-	be, err := cfg.newBackend(eng, root.Named("pfs"))
+	be, baseBE, err := cfg.newBackend(eng, root.Named("pfs"))
 	if err != nil {
 		return Result{}, err
 	}
 
-	plat := cfg.Platform
 	w := cfg.Workload
 	dedicated := cfg.DedicatedPerNode
 	computePerNode := plat.CoresPerNode - dedicated
@@ -213,22 +236,43 @@ func runDamaris(cfg Config) (Result, error) {
 	computeTime := w.ComputeTime * stretch
 	// The node still produces the same output volume per iteration.
 	nodeBytes := w.NodeBytes(plat.CoresPerNode)
-	bytesPerComputeRank := nodeBytes / float64(nComputeRanks/plat.Nodes)
+
+	// Per-iteration workload: the flat numbers, or the scenario trace's.
+	computeAt := func(int) float64 { return computeTime }
+	nodeBytesAt := func(int) float64 { return nodeBytes }
+	varsAt := func(int) int { return w.VarsPerCore }
+	if trace != nil {
+		computeAt = func(it int) float64 { return trace.Iters[it].ComputeTime * stretch }
+		nodeBytesAt = func(it int) float64 {
+			return trace.Iters[it].BytesPerCore * float64(plat.CoresPerNode)
+		}
+		varsAt = func(it int) int { return trace.Iters[it].VarsPerCore }
+	}
+
+	// Scenario node losses merge into the failure schedule; on a node
+	// listed twice the earliest death wins, as always.
+	failures := cfg.Failures
+	if trace != nil {
+		if losses := trace.NodeLosses(); len(losses) > 0 {
+			merged := cluster.NewFailureSchedule()
+			for _, n := range cfg.Failures.Nodes() {
+				k, _ := cfg.Failures.At(n)
+				merged.Add(n, k)
+			}
+			for _, l := range losses {
+				merged.Add(l.Node, l.Iteration)
+			}
+			failures = merged
+		}
+	}
 
 	treeMode := cfg.Fanout >= 2
-	var tree cluster.Tree
 	var aggs []*desAgg
-	var rootOrdinal map[int]int
 	var rootCovered []int // per iteration, origin nodes reaching a root
 	if treeMode {
-		tree = cluster.NewTree(plat.Nodes, cfg.Fanout, cfg.AggRoots)
 		aggs = make([]*desAgg, plat.Nodes)
-		rootOrdinal = map[int]int{}
 		for n := 0; n < plat.Nodes; n++ {
 			aggs[n] = newDesAgg(eng)
-		}
-		for i, r := range tree.Roots() {
-			rootOrdinal[r] = i
 		}
 		rootCovered = make([]int, w.Iterations)
 	}
@@ -251,6 +295,44 @@ func runDamaris(cfg Config) (Result, error) {
 	// the schedule is cluster-wide, not per backend stream.
 	schedule := newScheduler(eng, cfg.Scheduling, be.Targets())
 
+	// Platform shifts: rank 0 applies the trace's cumulative factors at
+	// the phase start of the shift's iteration. NIC shifts scale the
+	// tree-mode forward bandwidth; PFS shifts reach the storage model
+	// through the backend stack; both (and rejoins) mark the adaptive
+	// controller dirty so it re-evaluates the forest shape.
+	var tr *treeRun
+	shifter, _ := baseBE.(bandwidthShifter)
+	curNIC, curPFS := 1.0, 1.0
+	applyShifts := func(it int) {
+		if trace == nil || len(trace.ShiftsAt(it)) == 0 {
+			return
+		}
+		if f := trace.NICFactorAt(it); f != curNIC {
+			curNIC = f
+			if tr != nil {
+				tr.nicFactor = f
+				tr.adaptDirty = true
+			}
+		}
+		if f := trace.PFSFactorAt(it); f != curPFS {
+			curPFS = f
+			if shifter != nil {
+				shifter.SetBandwidthFactor(f)
+			}
+			if tr != nil {
+				tr.adaptDirty = true
+			}
+		}
+		for _, s := range trace.ShiftsAt(it) {
+			// A rejoin does not resurrect the node's I/O stack on this
+			// face, but it is a topology event the adaptive policy
+			// re-evaluates on.
+			if s.Kind == workload.ShiftNodeRejoin && tr != nil {
+				tr.adaptDirty = true
+			}
+		}
+	}
+
 	// Simulation cores.
 	var appEnd float64
 	for r := 0; r < nComputeRanks; r++ {
@@ -259,23 +341,25 @@ func runDamaris(cfg Config) (Result, error) {
 		compRng := root.Named("compute").Child(uint64(rank))
 		eng.Spawn("sim", func(p *des.Proc) {
 			for it := 0; it < w.Iterations; it++ {
-				p.Wait(computeTime * compRng.UnitLogNormal(w.ComputeJitter))
+				p.Wait(computeAt(it) * compRng.UnitLogNormal(w.ComputeJitter))
 				p.Arrive(stepBarrier)
 				if rank == 0 {
 					be.BeginPhase()
+					applyShifts(it)
 					phaseStart[it] = p.Now()
 				}
 				// The application-visible "I/O": copy the variables into
 				// the shared-memory segment.
 				t0 := p.Now()
-				p.Wait(bytesPerComputeRank/plat.ShmBandwidth +
-					float64(w.VarsPerCore)*plat.ShmWriteOverhead)
+				nb := nodeBytesAt(it)
+				p.Wait(nb/float64(computePerNode)/plat.ShmBandwidth +
+					float64(varsAt(it))*plat.ShmWriteOverhead)
 				res.RankWriteTimes = append(res.RankWriteTimes, p.Now()-t0)
 				// Last core of the node in this iteration publishes the
 				// node's data to the dedicated core.
 				arrived[node][it]++
 				if arrived[node][it] == computePerNode {
-					if !shms[node].offer(it, nodeBytes) && treeMode {
+					if !shms[node].offer(it, nb) && treeMode {
 						// Data lost, but the node must still take part in
 						// the aggregation round.
 						shms[node].offerEmpty(it)
@@ -297,37 +381,33 @@ func runDamaris(cfg Config) (Result, error) {
 
 	// Dedicated cores (one writer proc per node; D dedicated cores share
 	// the same work, so busy time is attributed to the node's pool).
-	var tr *treeRun
 	if treeMode {
 		tr = &treeRun{
 			cfg:         cfg,
+			eng:         eng,
 			be:          be,
 			schedule:    schedule,
 			res:         &res,
-			tree:        &tree,
 			aggs:        aggs,
-			rootOrdinal: rootOrdinal,
+			failures:    failures,
+			maxStarted:  -1,
 			rootCovered: rootCovered,
 			writeEnd:    make([]float64, w.Iterations),
 			phaseStart:  phaseStart,
-			computeTime: computeTime,
+			computeAt:   computeAt,
+			nodeBytesAt: nodeBytesAt,
+			nicFactor:   1,
+			obsNIC:      plat.NICBandwidth,
+			obsPFS:      plat.PFS.OSTBandwidth,
+			lastAdapt:   -adaptCooldown,
 			liveNodes:   plat.Nodes,
 		}
-		if cfg.InSitu.Mode != InSituOff {
-			// One bounded frame queue and one analysis consumer per root
-			// ordinal — a promoted root inherits its predecessor's queue
-			// along with the stripe window.
-			tr.insituQs = make([]*insituQ, len(tree.Roots()))
-			for i := range tr.insituQs {
-				tr.insituQs[i] = &insituQ{
-					eng:      eng,
-					capacity: cfg.InSitu.Buffer,
-					policy:   cfg.InSitu.Policy,
-				}
-				ord := i
-				eng.Spawn("insitu", func(p *des.Proc) { tr.runConsumer(p, ord) })
-			}
-		}
+		tr.epochs = []*desEpoch{tr.newEpoch(0, cfg.Fanout, cfg.AggRoots)}
+		// One bounded frame queue and one analysis consumer per root
+		// ordinal — a promoted root inherits its predecessor's queue
+		// along with the stripe window, and re-formations that widen
+		// the root set grow the array mid-run.
+		tr.growInsitu(tr.curEpoch().numRoots)
 	}
 	for n := 0; n < plat.Nodes; n++ {
 		node := n
@@ -368,7 +448,7 @@ func runDamaris(cfg Config) (Result, error) {
 						holder:   node,
 						base:     ost,
 						stripes:  1,
-						deadline: phaseStart[item.iter] + computeTime,
+						deadline: phaseStart[item.iter] + computeAt(item.iter),
 						bytes:    per,
 					})
 					be.Create(p)
@@ -428,21 +508,64 @@ func runDamaris(cfg Config) (Result, error) {
 	return res, nil
 }
 
-// treeRun bundles the state shared by every dedicated core of a
-// tree-mode run: the forest, the per-node aggregators, the shared write
-// scheduler and the per-iteration measurements.
-type treeRun struct {
-	cfg         Config
-	be          storage.Backend
-	schedule    writeScheduler
-	res         *Result
-	tree        *cluster.Tree
-	aggs        []*desAgg
+// adaptCooldown is the minimum iteration spacing between adaptation
+// decisions that were not forced by a platform shift or node death.
+const adaptCooldown = 2
+
+// desEpoch binds one aggregation topology to the iterations it routes:
+// from from until the next epoch's from. It carries everything derived
+// from the root set — ordinals, count, stripe window width — so an
+// iteration keeps its parents, coverage requirement and stripe layout
+// for its whole life even when later iterations route differently.
+type desEpoch struct {
+	from        int
+	fanout      int
+	roots       int // requested root count (before failure overlays)
+	tree        cluster.Tree
 	rootOrdinal map[int]int
+	numRoots    int
+	stripes     int
+}
+
+// treeRun bundles the state shared by every dedicated core of a
+// tree-mode run: the topology epochs, the per-node aggregators, the
+// shared write scheduler, the adaptation controller state and the
+// per-iteration measurements.
+type treeRun struct {
+	cfg      Config
+	eng      *des.Engine
+	be       storage.Backend
+	schedule writeScheduler
+	res      *Result
+	aggs     []*desAgg
+	failures *cluster.FailureSchedule
+
+	// epochs is the append-only topology history: epochs[i] routes
+	// iterations in [epochs[i].from, epochs[i+1].from). maxStarted is
+	// the routing high-water mark fencing re-formations — once any
+	// node has taken an iteration from its shm, that iteration's epoch
+	// is fixed for every node. dead lists failed nodes in death order;
+	// every new epoch re-applies them.
+	epochs     []*desEpoch
+	maxStarted int
+	dead       []int
+
 	rootCovered []int
 	writeEnd    []float64 // per iteration, last root-write completion
 	phaseStart  []float64
-	computeTime float64
+	computeAt   func(it int) float64
+	nodeBytesAt func(it int) float64
+
+	// Adaptation state (AdaptAdaptive): EWMAs of the observed NIC and
+	// per-stream PFS bandwidths, the dirty flag platform shifts and
+	// deaths raise, and the last iteration a decision ran. nicFactor is
+	// the trace's current cumulative NIC multiplier (1 without shifts).
+	nicFactor  float64
+	obsNIC     float64
+	obsPFS     float64
+	adaptDirty bool
+	lastAdapt  int
+
 	// insituQs holds one analysis frame queue per root ordinal (nil
 	// when Config.InSitu is off); liveNodes counts dedicated cores
 	// still running, so the queues close — releasing the consumer
@@ -450,6 +573,108 @@ type treeRun struct {
 	insituQs  []*insituQ
 	liveNodes int
 }
+
+// epochFor returns the epoch routing iteration it.
+func (tr *treeRun) epochFor(it int) *desEpoch {
+	for i := len(tr.epochs) - 1; i > 0; i-- {
+		if tr.epochs[i].from <= it {
+			return tr.epochs[i]
+		}
+	}
+	return tr.epochs[0]
+}
+
+// curEpoch returns the newest epoch — the one new iterations route by.
+func (tr *treeRun) curEpoch() *desEpoch { return tr.epochs[len(tr.epochs)-1] }
+
+// noteStarted records that iteration it began routing, fencing future
+// re-formations past it.
+func (tr *treeRun) noteStarted(it int) {
+	if it > tr.maxStarted {
+		tr.maxStarted = it
+	}
+}
+
+// newEpoch builds a fresh topology epoch with the accumulated failure
+// overlay re-applied, ordinals assigned to its live roots ascending.
+func (tr *treeRun) newEpoch(from, fanout, roots int) *desEpoch {
+	t := cluster.NewTree(tr.cfg.Platform.Nodes, fanout, roots)
+	for _, d := range tr.dead {
+		t.Fail(d)
+	}
+	rs := t.Roots()
+	ro := make(map[int]int, len(rs))
+	for i, r := range rs {
+		ro[r] = i
+	}
+	nr := len(rs)
+	if nr == 0 {
+		nr = 1 // stripe math only; a rootless epoch is never installed
+	}
+	return &desEpoch{
+		from:        from,
+		fanout:      fanout,
+		roots:       roots,
+		tree:        t,
+		rootOrdinal: ro,
+		numRoots:    len(rs),
+		stripes:     rootStripes(tr.cfg, tr.be.Targets(), nr),
+	}
+}
+
+// reform installs a new topology epoch at the fence maxStarted+1: every
+// iteration at or past the fence routes through the new tree, every
+// older one keeps its original epoch end to end. When the previous
+// epoch never routed anything it is replaced in place instead of
+// stacking unused epochs.
+func (tr *treeRun) reform(fanout, roots int) {
+	from := tr.maxStarted + 1
+	ep := tr.newEpoch(from, fanout, roots)
+	if ep.numRoots == 0 {
+		return
+	}
+	last := tr.epochs[len(tr.epochs)-1]
+	if last.from >= from {
+		ep.from = last.from
+		tr.epochs[len(tr.epochs)-1] = ep
+	} else {
+		tr.epochs = append(tr.epochs, ep)
+	}
+	tr.res.TreeReforms++
+	tr.growInsitu(ep.numRoots)
+}
+
+// maybeAdapt re-derives the forest shape from the bandwidths observed
+// so far and re-forms the tree when the recommendation moved — right
+// after a platform shift or node death, otherwise at most every
+// adaptCooldown iterations. Called at a root once its write completes,
+// i.e. exactly when a fresh PFS observation exists.
+func (tr *treeRun) maybeAdapt(it int) {
+	if tr.cfg.Adapt != AdaptAdaptive {
+		return
+	}
+	if !tr.adaptDirty && it < tr.lastAdapt+adaptCooldown {
+		return
+	}
+	tr.adaptDirty = false
+	tr.lastAdapt = it
+	next := it + 1
+	if next >= tr.cfg.Workload.Iterations {
+		return
+	}
+	fanout, roots := cluster.RecommendTopology(tr.cfg.Platform.Nodes,
+		tr.nodeBytesAt(next), tr.obsNIC, tr.obsPFS, tr.be.Targets())
+	cur := tr.curEpoch()
+	if fanout == cur.fanout && roots == cur.roots {
+		return
+	}
+	tr.reform(fanout, roots)
+}
+
+// observeNIC and observePFS fold one measured transfer into the EWMAs
+// the adaptation controller steers by (0.7 history, 0.3 new sample).
+func (tr *treeRun) observeNIC(bw float64) { tr.obsNIC = 0.7*tr.obsNIC + 0.3*bw }
+func (tr *treeRun) observePFS(bw float64) { tr.obsPFS = 0.7*tr.obsPFS + 0.3*bw }
 
 // nodeDone retires one dedicated core; the last one out closes every
 // in-situ queue so consumers drain their backlog and exit (the engine
@@ -467,36 +692,24 @@ func (tr *treeRun) nodeDone() {
 // phase starts roughly one compute phase after this one began, and the
 // cluster schedule wants the write done by then (§IV.C).
 func (tr *treeRun) deadline(it int) float64 {
-	return tr.phaseStart[it] + tr.computeTime
+	return tr.phaseStart[it] + tr.computeAt(it)
 }
 
 // runNode is one dedicated core's life in tree mode: per iteration,
 // merge the node's own output with the children's subtree volumes, then
 // either forward upward over the NIC or — at a root — stripe the merged
 // payload onto the backend as few large sequential streams. The parent
-// and the coverage requirement are re-read every iteration, because a
-// failure elsewhere can re-route this node or promote it to root
-// mid-run; a node's own scheduled death ends its loop.
+// and the coverage requirement come from the iteration's topology
+// epoch, re-read every iteration: a failure elsewhere can re-route this
+// node, and a re-formation can change its role for *later* iterations
+// while the in-flight ones keep their original tree. A node's own
+// scheduled death ends its loop.
 func (tr *treeRun) runNode(p *des.Proc, shm *nodeShm, node int) {
 	defer tr.nodeDone()
-	cfg, be, res, tree := tr.cfg, tr.be, tr.res, tr.tree
+	cfg, be, res := tr.cfg, tr.be, tr.res
 	plat := cfg.Platform
-	numRoots := len(tree.Roots())
-	stripes := rootStripes(cfg, be.Targets(), numRoots)
 	fileSeq := 0
-	failAt, willFail := cfg.Failures.At(node)
-	// The coverage this node must merge before forwarding: its live
-	// subtree, minus itself (own output arrives through the shm loop).
-	required := func() []int {
-		subtree := tree.LiveSubtree(node)
-		req := subtree[:0]
-		for _, n := range subtree {
-			if n != node {
-				req = append(req, n)
-			}
-		}
-		return req
-	}
+	failAt, willFail := tr.failures.At(node)
 
 	for it := 0; it < cfg.Workload.Iterations; it++ {
 		item, ok := shm.take(p)
@@ -507,6 +720,11 @@ func (tr *treeRun) runNode(p *des.Proc, shm *nodeShm, node int) {
 			tr.failNode(shm, node, item)
 			return
 		}
+		// Routing decision point: from here on, iteration item.iter
+		// flows through this epoch's tree on every node, so any
+		// re-formation fences past it.
+		tr.noteStarted(item.iter)
+		ep := tr.epochFor(item.iter)
 		busy := 0.0
 		t0 := p.Now()
 		own := item.bytes
@@ -516,29 +734,48 @@ func (tr *treeRun) runNode(p *des.Proc, shm *nodeShm, node int) {
 		}
 		busy += p.Now() - t0
 
-		// Awaiting stragglers is idle time, not work.
+		// The coverage this node must merge before forwarding: its live
+		// subtree under the iteration's epoch, minus itself (own output
+		// arrives through the shm loop). Awaiting stragglers is idle
+		// time, not work.
+		required := func() []int {
+			subtree := ep.tree.LiveSubtree(node)
+			req := subtree[:0]
+			for _, n := range subtree {
+				if n != node {
+					req = append(req, n)
+				}
+			}
+			return req
+		}
 		childBytes, covers := tr.aggs[node].await(p, item.iter, required)
 		subtree := own + childBytes
 		covers = append(covers, node)
 
 		t1 := p.Now()
-		if parent, hasParent := tree.Parent(node); hasParent {
+		if parent, hasParent := ep.tree.Parent(node); hasParent {
 			if subtree > 0 {
 				// Store-and-forward: the sender serializes the batch onto
-				// its NIC; the parent sees it after latency.
-				p.Wait(subtree/plat.NICBandwidth + plat.NICLatency)
+				// its NIC (at the trace's current effective bandwidth);
+				// the parent sees it after latency.
+				tSend := p.Now()
+				p.Wait(subtree/(plat.NICBandwidth*tr.nicFactor) + plat.NICLatency)
+				if el := p.Now() - tSend; el > 0 {
+					tr.observeNIC(subtree / el)
+				}
 			}
 			// The parent may have died during the transfer: relay along
 			// the drain chain, like the runtime cluster's dead relays.
-			deliverUp(tree, tr.aggs, res, parent, item.iter, subtree, covers)
+			deliverUp(&ep.tree, tr.aggs, res, parent, item.iter, subtree, covers)
 		} else {
 			tr.rootCovered[item.iter] += len(covers)
+			ord := ep.rootOrdinal[node]
 			if cfg.InSitu.Mode == InSituStream {
 				// Streaming coupling: the consumer sees the merged frame
 				// the moment aggregation completes, overlapped with the
 				// write below. Only a Block-policy consumer can delay the
 				// write path here (measured in StreamBlockTime).
-				tr.publishInSitu(p, node, shmIter{iter: item.iter, bytes: subtree})
+				tr.publishInSitu(p, ord, shmIter{iter: item.iter, bytes: subtree})
 			}
 			if subtree > 0 {
 				files := cfg.FilesPerIter
@@ -546,23 +783,27 @@ func (tr *treeRun) runNode(p *des.Proc, shm *nodeShm, node int) {
 				for f := 0; f < files; f++ {
 					// Spread root files over the target array, stripes-wide
 					// windows per file so roots do not collide.
-					base := ((tr.rootOrdinal[node] + fileSeq*numRoots) * stripes) % be.Targets()
+					base := ((ord + fileSeq*ep.numRoots) * ep.stripes) % be.Targets()
 					fileSeq++
 					release := tr.schedule.acquire(p, writeReq{
 						holder:   node,
 						base:     base,
-						stripes:  stripes,
+						stripes:  ep.stripes,
 						deadline: tr.deadline(item.iter),
 						bytes:    subtree,
 					})
 					be.Create(p)
-					futs := make([]*des.Future, stripes)
-					for s := 0; s < stripes; s++ {
-						futs[s] = be.WriteAsync((base+s)%be.Targets(), per/float64(stripes),
+					tw := p.Now()
+					futs := make([]*des.Future, ep.stripes)
+					for s := 0; s < ep.stripes; s++ {
+						futs[s] = be.WriteAsync((base+s)%be.Targets(), per/float64(ep.stripes),
 							storage.BigSequential)
 					}
-					for _, f := range futs {
-						p.Await(f)
+					for _, fu := range futs {
+						p.Await(fu)
+					}
+					if el := p.Now() - tw; el > 0 {
+						tr.observePFS(per / float64(ep.stripes) / el)
 					}
 					be.Close(p)
 					release()
@@ -571,12 +812,13 @@ func (tr *treeRun) runNode(p *des.Proc, shm *nodeShm, node int) {
 				if p.Now() > tr.writeEnd[item.iter] {
 					tr.writeEnd[item.iter] = p.Now()
 				}
+				tr.maybeAdapt(item.iter)
 			}
 			if cfg.InSitu.Mode == InSituFile {
 				// File-then-read coupling: the frame is only announced
 				// once the object is durable; the consumer pays the
 				// read-back before analyzing.
-				tr.publishInSitu(p, node, shmIter{iter: item.iter, bytes: subtree})
+				tr.publishInSitu(p, ord, shmIter{iter: item.iter, bytes: subtree})
 			}
 		}
 		busy += p.Now() - t1
@@ -625,22 +867,34 @@ func deliverUp(tree *cluster.Tree, aggs []*desAgg, res *Result, dest, it int,
 }
 
 // failNode executes one scheduled death on the DES side, mirroring
-// Cluster.killNode: re-route the tree, free any scheduling tokens the
-// dead node holds or waits for, hand its in-flight aggregations to the
-// drain target with their coverage intact, account the lost own output,
-// and wake every parked dedicated core so it re-checks its (now
-// smaller) coverage requirement.
+// Cluster.killNode: re-route every topology epoch (the corpse is dead
+// in all of them, with per-epoch root-ordinal inheritance on
+// promotions), free any scheduling tokens the dead node holds or waits
+// for, hand each in-flight aggregation to its own iteration's drain
+// target with its coverage intact, account the lost own output, and
+// wake every parked dedicated core so it re-checks its (now smaller)
+// coverage requirement.
 func (tr *treeRun) failNode(shm *nodeShm, node int, item shmIter) {
-	res, tree, aggs := tr.res, tr.tree, tr.aggs
-	wasRoot := tree.IsRoot(node)
-	edges := tree.Fail(node)
+	res := tr.res
+	tr.dead = append(tr.dead, node)
 	res.NodesFailed++
-	res.ReroutedEdges += len(edges)
-	if wasRoot {
-		// The promoted sibling inherits the dead root's stripe window.
-		for _, e := range edges {
-			if e.NewParent == -1 {
-				tr.rootOrdinal[e.Child] = tr.rootOrdinal[node]
+	routing := tr.epochFor(item.iter)
+	for _, ep := range tr.epochs {
+		if !ep.tree.Alive(node) {
+			continue
+		}
+		wasRoot := ep.tree.IsRoot(node)
+		edges := ep.tree.Fail(node)
+		if ep == routing {
+			res.ReroutedEdges += len(edges)
+		}
+		if wasRoot {
+			// The promoted sibling inherits the dead root's stripe
+			// window in this epoch.
+			for _, e := range edges {
+				if e.NewParent == -1 {
+					ep.rootOrdinal[e.Child] = ep.rootOrdinal[node]
+				}
 			}
 		}
 	}
@@ -652,17 +906,20 @@ func (tr *treeRun) failNode(shm *nodeShm, node int, item shmIter) {
 	res.LostBytes += item.bytes
 	shm.kill()
 
-	a := aggs[node]
-	if dest, ok := tree.DrainTarget(node); ok {
-		for _, it := range sortedIntKeys(a.covered) {
-			aggs[dest].deliver(it, a.bytes[it], sortedIntKeys(a.covered[it]))
+	a := tr.aggs[node]
+	for _, it := range sortedIntKeys(a.covered) {
+		ep := tr.epochFor(it)
+		if dest, ok := ep.tree.DrainTarget(node); ok {
+			tr.aggs[dest].deliver(it, a.bytes[it], sortedIntKeys(a.covered[it]))
+			delete(a.covered, it)
+			delete(a.bytes, it)
 		}
-		a.covered = map[int]map[int]bool{}
-		a.bytes = map[int]float64{}
 	}
 	// Orphans with no drain target stay in a.bytes and are swept into
 	// LostBytes after the run.
-	for _, other := range aggs {
+	for _, other := range tr.aggs {
 		other.wake()
 	}
+	// The machine shrank: an adaptive run may want a different forest.
+	tr.adaptDirty = true
 }

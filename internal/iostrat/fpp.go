@@ -14,7 +14,7 @@ import (
 func runFPP(cfg Config) (Result, error) {
 	eng := des.NewEngine()
 	root := rng.New(cfg.Seed, 1)
-	be, err := cfg.newBackend(eng, root.Named("pfs"))
+	be, _, err := cfg.newBackend(eng, root.Named("pfs"))
 	if err != nil {
 		return Result{}, err
 	}

@@ -176,16 +176,39 @@ func (q *insituQ) close() {
 	}
 }
 
-// publishInSitu hands a completed root frame to the root's consumer
-// queue (no-op when in-situ is off), charging any Block-policy wait to
-// the publisher and the run's StreamBlockTime.
-func (tr *treeRun) publishInSitu(p *des.Proc, node int, item shmIter) {
+// publishInSitu hands a completed root frame to the given root
+// ordinal's consumer queue (no-op when in-situ is off), charging any
+// Block-policy wait to the publisher and the run's StreamBlockTime.
+// The caller resolves the ordinal through the frame's topology epoch,
+// so a frame routed by an older tree reaches the queue that root owned.
+func (tr *treeRun) publishInSitu(p *des.Proc, ord int, item shmIter) {
 	if tr.insituQs == nil || item.bytes <= 0 {
 		return
 	}
-	q := tr.insituQs[tr.rootOrdinal[node]]
+	q := tr.insituQs[ord]
 	if blocked := q.publish(p, item); blocked > 0 {
 		tr.res.StreamBlockTime += blocked
+	}
+}
+
+// growInsitu widens the per-root-ordinal queue/consumer array to cover
+// numRoots ordinals (no-op when in-situ is off or already wide enough):
+// a re-formation that flattens the forest spawns consumers for the new
+// ordinals mid-run, while shrunken root sets keep their extra queues —
+// frames from fenced iterations may still arrive on them.
+func (tr *treeRun) growInsitu(numRoots int) {
+	if tr.cfg.InSitu.Mode == InSituOff {
+		return
+	}
+	for len(tr.insituQs) < numRoots {
+		q := &insituQ{
+			eng:      tr.eng,
+			capacity: tr.cfg.InSitu.Buffer,
+			policy:   tr.cfg.InSitu.Policy,
+		}
+		tr.insituQs = append(tr.insituQs, q)
+		ord := len(tr.insituQs) - 1
+		tr.eng.Spawn("insitu", func(p *des.Proc) { tr.runConsumer(p, ord) })
 	}
 }
 
@@ -206,8 +229,6 @@ func (tr *treeRun) closeInSituOrdinal(ord int) {
 func (tr *treeRun) runConsumer(p *des.Proc, ord int) {
 	cfg, be, res := tr.cfg, tr.be, tr.res
 	q := tr.insituQs[ord]
-	numRoots := len(tr.tree.Roots())
-	stripes := rootStripes(cfg, be.Targets(), numRoots)
 	for {
 		item, ok := q.take(p)
 		if !ok {
@@ -215,8 +236,10 @@ func (tr *treeRun) runConsumer(p *des.Proc, ord int) {
 		}
 		if cfg.InSitu.Mode == InSituFile {
 			// Read the just-written root object back through the same
-			// stripe window the write used; the read competes with
-			// whatever the storage system is serving.
+			// stripe window the write used — the frame's own epoch's,
+			// which a later re-formation does not retarget; the read
+			// competes with whatever the storage system is serving.
+			stripes := tr.epochFor(item.iter).stripes
 			base := (ord * stripes) % be.Targets()
 			futs := make([]*des.Future, stripes)
 			for s := 0; s < stripes; s++ {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/storage/chunk"
 	"repro/internal/topology"
+	"repro/internal/workload"
 )
 
 // Approach names one of the modeled I/O strategies.
@@ -63,6 +64,35 @@ const (
 // Schedulings lists the scheduling policies, SchedNone first.
 func Schedulings() []Scheduling {
 	return []Scheduling{SchedNone, SchedOSTToken, SchedGlobalToken, SchedClusterToken}
+}
+
+// AdaptPolicy selects whether the aggregation forest keeps its
+// configured shape for the whole run or re-forms itself mid-run from
+// observed bandwidths (tree mode only; see docs/SCENARIOS.md).
+type AdaptPolicy string
+
+const (
+	// AdaptStatic keeps the configured Fanout/AggRoots (the default).
+	AdaptStatic AdaptPolicy = "static"
+	// AdaptAdaptive re-derives the forest shape from the observed
+	// NIC-vs-PFS bandwidths (cluster.RecommendTopology) and re-forms
+	// the tree at an epoch fence: iterations already routing keep
+	// their old topology — parents, coverage, root stripe windows —
+	// so no in-flight aggregation is stranded or double-written.
+	AdaptAdaptive AdaptPolicy = "adaptive"
+)
+
+// AdaptPolicies lists the adaptation policies, AdaptStatic first.
+func AdaptPolicies() []AdaptPolicy { return []AdaptPolicy{AdaptStatic, AdaptAdaptive} }
+
+// ValidateAdaptPolicy rejects unknown policy names before a run starts
+// ("" means AdaptStatic).
+func ValidateAdaptPolicy(a AdaptPolicy) error {
+	switch a {
+	case "", AdaptStatic, AdaptAdaptive:
+		return nil
+	}
+	return fmt.Errorf("iostrat: unknown adaptation policy %q (have %v)", a, AdaptPolicies())
 }
 
 // ValidateScheduling rejects unknown policy names before a run starts.
@@ -200,6 +230,17 @@ type Config struct {
 	// simulation ranks keep computing — the model isolates the
 	// I/O-layer data-loss/latency trade of losing aggregation nodes.
 	Failures *cluster.FailureSchedule
+	// Scenario, when non-nil, drives the run from a deterministic
+	// workload trace (internal/workload): per-iteration output volumes,
+	// compute times and variable counts replace the flat Workload
+	// numbers, platform shifts step the NIC/PFS bandwidth mid-run, and
+	// node losses merge into Failures. The trace must be generated for
+	// this platform's node count. Workload.Iterations is taken from the
+	// trace.
+	Scenario *workload.Trace
+	// Adapt selects static vs adaptive tree shaping in tree mode
+	// (default AdaptStatic). See AdaptPolicy.
+	Adapt AdaptPolicy
 
 	// Collective options.
 
@@ -216,8 +257,33 @@ func (c Config) withDefaults() Config {
 	if c.DedicatedPerNode == 0 {
 		c.DedicatedPerNode = 1
 	}
+	if c.Scenario != nil {
+		// The trace overrides the flat workload: its first iteration
+		// seeds the base numbers (reports, stretch math), the trace
+		// length fixes the iteration count, and the per-iteration
+		// values are applied inside the run.
+		c.Workload.Iterations = c.Scenario.Iterations()
+		if len(c.Scenario.Iters) > 0 {
+			it0 := c.Scenario.Iters[0]
+			c.Workload.BytesPerCore = it0.BytesPerCore
+			c.Workload.ComputeTime = it0.ComputeTime
+			c.Workload.VarsPerCore = it0.VarsPerCore
+		}
+	}
 	if c.ShmCapacity == 0 {
-		c.ShmCapacity = 4 * c.Workload.NodeBytes(c.Platform.CoresPerNode)
+		peak := c.Workload.BytesPerCore
+		if c.Scenario != nil {
+			// Size the segment for the trace's peak iteration (AMR
+			// growth), so scenario volume swings do not turn into §V.C
+			// skips that break the no-loss acceptance checks.
+			if m := c.Scenario.MaxBytesPerCore(); m > peak {
+				peak = m
+			}
+		}
+		c.ShmCapacity = 4 * peak * float64(c.Platform.CoresPerNode)
+	}
+	if c.Adapt == "" {
+		c.Adapt = AdaptStatic
 	}
 	if c.Scheduling == "" {
 		c.Scheduling = SchedNone
@@ -256,15 +322,18 @@ func (c Config) withDefaults() Config {
 }
 
 // newBackend builds the configured storage backend for one run,
-// wrapped in the compression pipeline when a codec is configured.
-func (c Config) newBackend(eng *des.Engine, r *rng.Stream) (storage.Backend, error) {
-	be, err := storage.New(c.Backend, eng, c.Platform, r, c.BackendDir)
+// wrapped in the compression pipeline when a codec is configured. The
+// unwrapped base is returned alongside, so scenario platform shifts can
+// reach model-level knobs (bandwidth factors) through the wrappers.
+func (c Config) newBackend(eng *des.Engine, r *rng.Stream) (storage.Backend, storage.Backend, error) {
+	base, err := storage.New(c.Backend, eng, c.Platform, r, c.BackendDir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	be := base
 	if c.Codec != "" {
 		if err := storage.ValidateCodecName(c.Codec); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		be = storage.NewCompressing(be, storage.CompressionOptions{
 			Codec:  c.Codec,
@@ -280,7 +349,7 @@ func (c Config) newBackend(eng *des.Engine, r *rng.Stream) (storage.Backend, err
 	if c.testWrapBackend != nil {
 		be = c.testWrapBackend(eng, be)
 	}
-	return be, nil
+	return be, base, nil
 }
 
 // Result reports what one strategy run measured.
@@ -366,6 +435,10 @@ type Result struct {
 	// iteration completed, token waits included — the per-iteration
 	// write tail the cross-root schedule is meant to flatten.
 	TreeWriteLatencies []float64
+	// TreeReforms counts mid-run topology re-formations (0 under
+	// AdaptStatic); each one opened a new tree epoch at an iteration
+	// fence.
+	TreeReforms int
 
 	// In-situ measurements (tree mode with Config.InSitu).
 

@@ -37,7 +37,7 @@ func RestartRead(cfg Config) (RestartResult, error) {
 	cfg = cfg.withDefaults()
 	eng := des.NewEngine()
 	root := rng.New(cfg.Seed, 17)
-	be, err := cfg.newBackend(eng, root.Named("pfs"))
+	be, _, err := cfg.newBackend(eng, root.Named("pfs"))
 	if err != nil {
 		return RestartResult{}, err
 	}

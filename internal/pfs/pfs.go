@@ -58,10 +58,11 @@ func (p Pattern) String() string {
 
 // FS is a simulated parallel file system bound to a DES engine.
 type FS struct {
-	eng    *des.Engine
-	params topology.PFSParams
-	mds    *des.Resource
-	osts   []*ost
+	eng      *des.Engine
+	params   topology.PFSParams
+	bwFactor float64 // mid-run bandwidth multiplier (SetBandwidthFactor)
+	mds      *des.Resource
+	osts     []*ost
 
 	totalBytes     float64
 	totalBytesRead float64
@@ -78,10 +79,11 @@ type FS struct {
 // streams; New does not retain it.
 func New(eng *des.Engine, params topology.PFSParams, r *rng.Stream) *FS {
 	fs := &FS{
-		eng:    eng,
-		params: params,
-		mds:    eng.NewResource(1),
-		osts:   make([]*ost, params.OSTs),
+		eng:      eng,
+		params:   params,
+		bwFactor: 1,
+		mds:      eng.NewResource(1),
+		osts:     make([]*ost, params.OSTs),
 	}
 	for i := range fs.osts {
 		fs.osts[i] = &ost{
@@ -124,6 +126,24 @@ func (fs *FS) BeginPhase() {
 				o.congestion = 1
 			}
 		}
+		o.recompute()
+	}
+}
+
+// SetBandwidthFactor scales every OST's peak bandwidth by factor (> 0,
+// absolute against nominal, not cumulative) from the current virtual
+// time on — the mid-run platform shift the workload scenarios schedule,
+// e.g. a storage-system degradation or recovery. In-flight transfers
+// drain at the old rate up to now and at the new rate afterwards.
+func (fs *FS) SetBandwidthFactor(factor float64) {
+	if factor <= 0 {
+		return
+	}
+	for _, o := range fs.osts {
+		o.advance()
+	}
+	fs.bwFactor = factor
+	for _, o := range fs.osts {
 		o.recompute()
 	}
 }
@@ -406,7 +426,7 @@ func (o *ost) recompute() {
 		return
 	}
 	p := o.fs.params
-	aggregate := p.OSTBandwidth * o.efficiency(n) * o.congestion
+	aggregate := p.OSTBandwidth * o.fs.bwFactor * o.efficiency(n) * o.congestion
 	if aggregate < 1 { // floor to avoid virtually-stalled transfers
 		aggregate = 1
 	}

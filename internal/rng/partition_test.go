@@ -1,0 +1,71 @@
+package rng
+
+import "testing"
+
+func TestPartitionPureFunctionOfKey(t *testing.T) {
+	p := NewPartition(2013)
+	a := p.Subsystem("cadence")
+	// Drawing from one subsystem's stream must not perturb another.
+	for i := 0; i < 100; i++ {
+		a.Uint64()
+	}
+	b1 := p.Subsystem("size")
+	b2 := NewPartition(2013).Subsystem("size")
+	for i := 0; i < 100; i++ {
+		if b1.Uint64() != b2.Uint64() {
+			t.Fatalf("subsystem stream depends on sibling draw history (draw %d)", i)
+		}
+	}
+}
+
+func TestPartitionConstructionOrderIrrelevant(t *testing.T) {
+	names := []string{"cadence", "size", "mix", "platform", "ladder"}
+	forward := map[string]uint64{}
+	p := NewPartition(99)
+	for _, n := range names {
+		forward[n] = p.Subsystem(n).Uint64()
+	}
+	q := NewPartition(99)
+	for i := len(names) - 1; i >= 0; i-- {
+		n := names[i]
+		if got := q.Subsystem(n).Uint64(); got != forward[n] {
+			t.Fatalf("subsystem %q stream changed with construction order", n)
+		}
+	}
+}
+
+func TestPartitionKeysIndependent(t *testing.T) {
+	p := NewPartition(7)
+	pairs := []*Stream{
+		p.Subsystem("a"),
+		p.Subsystem("b"),
+		p.Entity("a", 1),
+		p.Entity("a", 2),
+		NewPartition(8).Subsystem("a"),
+	}
+	for i := 0; i < len(pairs); i++ {
+		for j := i + 1; j < len(pairs); j++ {
+			a, b := pairs[i], pairs[j]
+			same := 0
+			for k := 0; k < 200; k++ {
+				if a.Uint64() == b.Uint64() {
+					same++
+				}
+			}
+			if same > 1 {
+				t.Fatalf("streams %d and %d produced %d identical draws of 200", i, j, same)
+			}
+		}
+	}
+}
+
+func TestSimulationKeyMatchesPartition(t *testing.T) {
+	k := SimulationKey{Seed: 5, Subsystem: "size", Entity: 3}
+	a := k.Stream()
+	b := NewPartition(5).Entity("size", 3)
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Partition.Entity disagrees with the explicit SimulationKey")
+		}
+	}
+}

@@ -96,6 +96,17 @@ func Percentile(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// Median returns the 50th percentile of xs (interpolated, 0 if
+// empty) without assuming the input is sorted. Prefer it over Mean
+// when a series is exposed to the PFS model's heavy-tailed straggler
+// episodes: one Pareto draw can move a mean by an order of magnitude
+// while the median still ranks the underlying configurations.
+func Median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Percentile(s, 50)
+}
+
 // Mean returns the arithmetic mean of xs, 0 if empty.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

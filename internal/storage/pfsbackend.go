@@ -36,6 +36,11 @@ func NewPFS(eng *des.Engine, params topology.PFSParams, r *rng.Stream) *PFS {
 // FS exposes the underlying model (diagnostics, pfs-specific tests).
 func (b *PFS) FS() *pfs.FS { return b.fs }
 
+// SetBandwidthFactor forwards a mid-run platform shift — an absolute
+// multiplier on nominal OST bandwidth — to the file-system model; the
+// workload scenarios use it for their PFS bandwidth steps.
+func (b *PFS) SetBandwidthFactor(factor float64) { b.fs.SetBandwidthFactor(factor) }
+
 // Name implements Backend.
 func (b *PFS) Name() string { return string(KindPFS) }
 

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// IterSpec is one iteration's workload shape.
+type IterSpec struct {
+	// BytesPerCore is the output this iteration writes per core.
+	BytesPerCore float64
+	// ComputeTime is the compute phase preceding the write, seconds.
+	ComputeTime float64
+	// VarsPerCore is how many variables the bytes split into.
+	VarsPerCore int
+	// ParticleFraction is the share of bytes in particle datasets
+	// (0 = pure grid).
+	ParticleFraction float64
+}
+
+// ShiftKind names a mid-run platform event.
+type ShiftKind string
+
+const (
+	// ShiftNICBandwidth multiplies interconnect bandwidth by Factor.
+	ShiftNICBandwidth ShiftKind = "nic-bandwidth"
+	// ShiftPFSBandwidth multiplies PFS bandwidth by Factor.
+	ShiftPFSBandwidth ShiftKind = "pfs-bandwidth"
+	// ShiftNodeLoss kills Node at the start of Iteration.
+	ShiftNodeLoss ShiftKind = "node-loss"
+	// ShiftNodeRejoin announces capacity coming back. The runs never
+	// resurrect a dead aggregator; the event exists as an adaptation
+	// trigger (see docs/SCENARIOS.md).
+	ShiftNodeRejoin ShiftKind = "node-rejoin"
+)
+
+// PlatformShift is one scheduled platform event.
+type PlatformShift struct {
+	// Iteration is when the shift takes effect (at phase start).
+	Iteration int
+	// Kind selects the event.
+	Kind ShiftKind
+	// Factor is the bandwidth multiplier for the bandwidth kinds.
+	Factor float64
+	// Node is the victim (node-loss) or returning capacity (rejoin).
+	Node int
+}
+
+// Trace is a generated scenario: the deterministic output of Generate
+// for one Spec. Consumers must treat it as immutable.
+type Trace struct {
+	// Scenario is the generating scenario name.
+	Scenario string
+	// Seed is the root seed the trace replays from.
+	Seed uint64
+	// Nodes is the node count the trace targets.
+	Nodes int
+	// Iters holds one IterSpec per iteration.
+	Iters []IterSpec
+	// Shifts holds the scheduled platform events, sorted by iteration.
+	Shifts []PlatformShift
+	// Ladder lists node counts for the scaling-ladder scenarios (nil
+	// otherwise).
+	Ladder []int
+}
+
+// Iterations reports the trace length.
+func (t *Trace) Iterations() int { return len(t.Iters) }
+
+// ShiftsAt returns the platform events taking effect at iteration it.
+func (t *Trace) ShiftsAt(it int) []PlatformShift {
+	var out []PlatformShift
+	for _, s := range t.Shifts {
+		if s.Iteration == it {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// NICFactorAt returns the cumulative NIC bandwidth multiplier in
+// effect during iteration it (1 before any shift).
+func (t *Trace) NICFactorAt(it int) float64 { return t.factorAt(it, ShiftNICBandwidth) }
+
+// PFSFactorAt returns the cumulative PFS bandwidth multiplier in
+// effect during iteration it.
+func (t *Trace) PFSFactorAt(it int) float64 { return t.factorAt(it, ShiftPFSBandwidth) }
+
+func (t *Trace) factorAt(it int, kind ShiftKind) float64 {
+	f := 1.0
+	for _, s := range t.Shifts {
+		if s.Kind == kind && s.Iteration <= it {
+			f *= s.Factor
+		}
+	}
+	return f
+}
+
+// NodeLosses returns the node-loss events in iteration order.
+func (t *Trace) NodeLosses() []PlatformShift {
+	var out []PlatformShift
+	for _, s := range t.Shifts {
+		if s.Kind == ShiftNodeLoss {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// HasPlatformShift reports whether any bandwidth step or node event is
+// scheduled — the scenarios where elastic adaptation has something to
+// react to.
+func (t *Trace) HasPlatformShift() bool { return len(t.Shifts) > 0 }
+
+// MaxBytesPerCore returns the largest per-core output of any
+// iteration — the capacity planners (shm segments, queues) size for.
+func (t *Trace) MaxBytesPerCore() float64 {
+	m := 0.0
+	for _, it := range t.Iters {
+		if it.BytesPerCore > m {
+			m = it.BytesPerCore
+		}
+	}
+	return m
+}
+
+// LadderBytesScale returns the per-core byte multiplier at a ladder
+// rung of the given node count: 1 under weak scaling (constant
+// per-core work), Nodes/rung under strong scaling (constant total).
+func (t *Trace) LadderBytesScale(rungNodes int) float64 {
+	if t.Scenario == StrongLadder && rungNodes > 0 {
+		return float64(t.Nodes) / float64(rungNodes)
+	}
+	return 1
+}
+
+// Encode serializes the trace into canonical bytes: equal traces
+// encode identically, so byte comparison is trace comparison. The
+// format is internal — it exists for fingerprinting and the replay
+// property tests, not for storage.
+func (t *Trace) Encode() []byte {
+	var b []byte
+	u64 := func(v uint64) { b = binary.BigEndian.AppendUint64(b, v) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) { u64(uint64(len(s))); b = append(b, s...) }
+	str(t.Scenario)
+	u64(t.Seed)
+	u64(uint64(t.Nodes))
+	u64(uint64(len(t.Iters)))
+	for _, it := range t.Iters {
+		f64(it.BytesPerCore)
+		f64(it.ComputeTime)
+		u64(uint64(it.VarsPerCore))
+		f64(it.ParticleFraction)
+	}
+	u64(uint64(len(t.Shifts)))
+	for _, s := range t.Shifts {
+		u64(uint64(s.Iteration))
+		str(string(s.Kind))
+		f64(s.Factor)
+		u64(uint64(s.Node))
+	}
+	u64(uint64(len(t.Ladder)))
+	for _, n := range t.Ladder {
+		u64(uint64(n))
+	}
+	return b
+}
+
+// Fingerprint hashes Encode into one comparable word.
+func (t *Trace) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write(t.Encode())
+	return h.Sum64()
+}

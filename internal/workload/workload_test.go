@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestInterleavingByteIdentical is the determinism property test: for
+// every scenario, running the generator's subsystem passes in any
+// order produces byte-identical traces, because each pass draws only
+// from its own partitioned stream.
+func TestInterleavingByteIdentical(t *testing.T) {
+	perms := rng.New(1, 0)
+	for _, sc := range Scenarios() {
+		spec := Spec{Scenario: sc, Seed: 2013, Iterations: 12, Nodes: 32}
+		want, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		wantB := want.Encode()
+		for trial := 0; trial < 8; trial++ {
+			perm := perms.Perm(len(passes()))
+			got, err := generate(spec, perm)
+			if err != nil {
+				t.Fatalf("%s perm %v: %v", sc, perm, err)
+			}
+			if !bytes.Equal(got.Encode(), wantB) {
+				t.Fatalf("%s: pass order %v changed the trace bytes", sc, perm)
+			}
+		}
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	for _, sc := range Scenarios() {
+		a, err := Generate(Spec{Scenario: sc, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := Generate(Spec{Scenario: sc, Seed: 7})
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("%s: same seed produced different traces", sc)
+		}
+		c, _ := Generate(Spec{Scenario: sc, Seed: 8})
+		if sc != Steady && sc != WeakLadder && sc != StrongLadder {
+			// Purely structural scenarios draw nothing, so only the
+			// stochastic ones must diverge under a new seed.
+			if a.Fingerprint() == c.Fingerprint() {
+				t.Fatalf("%s: different seeds produced identical traces", sc)
+			}
+		}
+	}
+}
+
+func TestScenarioShapes(t *testing.T) {
+	spec := Spec{Seed: 3, Iterations: 16, Nodes: 32}
+
+	spec.Scenario = Steady
+	st, _ := Generate(spec)
+	for i, it := range st.Iters {
+		if it.BytesPerCore != st.Iters[0].BytesPerCore || it.ComputeTime != st.Iters[0].ComputeTime {
+			t.Fatalf("steady: iteration %d deviates from the base", i)
+		}
+	}
+	if st.HasPlatformShift() {
+		t.Fatal("steady: unexpected platform shifts")
+	}
+
+	spec.Scenario = AMR
+	amr, _ := Generate(spec)
+	last := amr.Iters[len(amr.Iters)-1].BytesPerCore
+	if last <= amr.Iters[0].BytesPerCore {
+		t.Fatal("amr: no growth over the run")
+	}
+	if max := amr.MaxBytesPerCore(); max > 8*spec.withDefaults().BaseBytesPerCore+1 {
+		t.Fatalf("amr: growth %g exceeds the 8x cap", max)
+	}
+
+	spec.Scenario = ParticleMix
+	pm, _ := Generate(spec)
+	varied := false
+	for _, it := range pm.Iters {
+		if it.ParticleFraction <= 0 || it.ParticleFraction >= 1 {
+			t.Fatalf("particle-mix: fraction %g out of (0,1)", it.ParticleFraction)
+		}
+		if it.VarsPerCore != pm.Iters[0].VarsPerCore {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("particle-mix: variable counts never varied")
+	}
+
+	spec.Scenario = NICStep
+	ns, _ := Generate(spec)
+	if ns.NICFactorAt(0) != 1 {
+		t.Fatal("nic-step: shifted before the run started")
+	}
+	if f := ns.NICFactorAt(ns.Iterations() - 1); f >= 1 || f <= 0 {
+		t.Fatalf("nic-step: final NIC factor %g not a drop", f)
+	}
+	if ns.PFSFactorAt(ns.Iterations()-1) != 1 {
+		t.Fatal("nic-step: PFS factor moved")
+	}
+
+	spec.Scenario = PFSStep
+	ps, _ := Generate(spec)
+	if f := ps.PFSFactorAt(ps.Iterations() - 1); f >= 1 || f <= 0 {
+		t.Fatalf("pfs-step: final PFS factor %g not a drop", f)
+	}
+
+	spec.Scenario = NodeChurn
+	nc, _ := Generate(spec)
+	losses := nc.NodeLosses()
+	if len(losses) != spec.Nodes/8 {
+		t.Fatalf("node-churn: %d losses, want %d", len(losses), spec.Nodes/8)
+	}
+	seen := map[int]bool{}
+	for _, l := range losses {
+		if l.Node < 0 || l.Node >= spec.Nodes || seen[l.Node] {
+			t.Fatalf("node-churn: bad or duplicate victim %d", l.Node)
+		}
+		seen[l.Node] = true
+		if l.Iteration < 1 {
+			t.Fatal("node-churn: loss at iteration 0 would kill the run before it starts")
+		}
+	}
+
+	spec.Scenario = WeakLadder
+	wl, _ := Generate(spec)
+	if len(wl.Ladder) != 3 || wl.Ladder[0] != spec.Nodes || wl.Ladder[2] != 4*spec.Nodes {
+		t.Fatalf("weak-ladder: ladder %v", wl.Ladder)
+	}
+	if wl.LadderBytesScale(wl.Ladder[2]) != 1 {
+		t.Fatal("weak-ladder: per-core bytes should not scale")
+	}
+
+	spec.Scenario = StrongLadder
+	sl, _ := Generate(spec)
+	if got := sl.LadderBytesScale(sl.Ladder[2]); got != 0.25 {
+		t.Fatalf("strong-ladder: scale at 4x nodes = %g, want 0.25", got)
+	}
+}
+
+func TestGenerateRejectsBadSpecs(t *testing.T) {
+	if _, err := Generate(Spec{Scenario: "tornado"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := Generate(Spec{Scenario: Steady, Iterations: -1}); err == nil {
+		t.Fatal("negative iterations accepted")
+	}
+	if _, err := Generate(Spec{Scenario: Steady, Nodes: -2}); err == nil {
+		t.Fatal("negative nodes accepted")
+	}
+}
+
+func TestEncodeDistinguishesTraces(t *testing.T) {
+	a, _ := Generate(Spec{Scenario: Bursty, Seed: 1})
+	b, _ := Generate(Spec{Scenario: Bursty, Seed: 2})
+	if bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("different seeds encoded identically")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different traces fingerprinted identically")
+	}
+}
